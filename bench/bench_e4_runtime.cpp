@@ -1,0 +1,93 @@
+// E4 — Theorem 9 vs the exponential baseline: the modified greedy runs in
+// polynomial time O(m k f^{2-1/k} n^{1+1/k}) while Algorithm 1's decision
+// step is exponential in f.  Google-benchmark microbenchmarks:
+//   * BM_ModifiedGreedy/{n}/{f}: poly scaling in n and f,
+//   * BM_ExactGreedy/{n}/{f}: the baseline, feasible only on tiny inputs,
+//   * BM_LbcDecide: the inner Algorithm 2 oracle,
+//   * BM_Add93: the fault-free baseline for calibration.
+
+#include <benchmark/benchmark.h>
+
+#include "core/greedy_exact.h"
+#include "core/lbc.h"
+#include "core/modified_greedy.h"
+#include "graph/generators.h"
+#include "spanner/add93_greedy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ftspan;
+
+Graph workload(std::size_t n, double avg_degree, std::uint64_t seed) {
+  Rng rng(seed);
+  const double p = std::min(1.0, avg_degree / static_cast<double>(n - 1));
+  return gnp(n, p, rng);
+}
+
+void BM_ModifiedGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::uint32_t>(state.range(1));
+  const Graph g = workload(n, 16.0, 42 + n);
+  for (auto _ : state) {
+    auto build = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = f});
+    benchmark::DoNotOptimize(build.spanner.m());
+  }
+  state.counters["m"] = static_cast<double>(g.m());
+}
+BENCHMARK(BM_ModifiedGreedy)
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExactGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::uint32_t>(state.range(1));
+  const Graph g = workload(n, 8.0, 43 + n);
+  for (auto _ : state) {
+    auto build = exact_greedy_spanner(g, SpannerParams{.k = 2, .f = f});
+    benchmark::DoNotOptimize(build.spanner.m());
+  }
+}
+BENCHMARK(BM_ExactGreedy)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 3})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LbcDecide(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto alpha = static_cast<std::uint32_t>(state.range(1));
+  const Graph g = workload(n, 16.0, 44 + n);
+  LbcSolver solver;
+  VertexId u = 0;
+  for (auto _ : state) {
+    const VertexId v = static_cast<VertexId>(1 + (u + 7) % (n - 1));
+    auto result = solver.decide(g, u, v, 3, alpha);
+    benchmark::DoNotOptimize(result.yes);
+    u = (u + 1) % static_cast<VertexId>(n - 1);
+  }
+}
+BENCHMARK(BM_LbcDecide)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({256, 16})
+    ->Args({1024, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Add93(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Graph g = workload(n, 16.0, 45 + n);
+  for (auto _ : state) {
+    auto h = add93_greedy_spanner(g, 2);
+    benchmark::DoNotOptimize(h.m());
+  }
+}
+BENCHMARK(BM_Add93)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Shared helpers for the experiment harness binaries.
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace ftspan::bench {
+
+/// Prints the experiment banner: id, the paper claim being regenerated, and
+/// the seed so every table is reproducible.
+inline void banner(const std::string& id, const std::string& claim,
+                   std::uint64_t seed) {
+  std::cout << "== " << id << " ==\n"
+            << "claim: " << claim << "\n"
+            << "seed:  " << seed << "\n\n";
+}
+
+/// A connected-ish G(n, p) with average degree `avg_degree` (p = d/(n-1)).
+inline Graph gnp_with_degree(std::size_t n, double avg_degree, Rng& rng) {
+  const double p = std::min(1.0, avg_degree / static_cast<double>(n - 1));
+  return gnp(n, p, rng);
+}
+
+}  // namespace ftspan::bench

@@ -1,0 +1,172 @@
+#include "analysis/blocking_set.h"
+
+#include <algorithm>
+
+#include "analysis/girth.h"
+#include "graph/fault_mask.h"
+#include "graph/subgraph.h"
+#include "util/check.h"
+
+namespace ftspan {
+namespace analysis {
+
+std::vector<BlockingPair> blocking_set_from_build(const SpannerBuild& build) {
+  FTSPAN_REQUIRE(build.certificates.size() == build.picked.size(),
+                 "build must carry certificates (record_certificates=true)");
+  std::vector<BlockingPair> blocking;
+  for (std::size_t i = 0; i < build.certificates.size(); ++i) {
+    const auto& cert = build.certificates[i];
+    FTSPAN_REQUIRE(cert.model == FaultModel::vertex,
+                   "blocking sets are defined for the vertex model");
+    // Edge i of the spanner was the i-th added, so its H-edge id is i.
+    const auto h_edge = static_cast<EdgeId>(i);
+    for (const auto x : cert.ids)
+      blocking.push_back(BlockingPair{x, h_edge});
+  }
+  return blocking;
+}
+
+namespace {
+
+/// DFS enumeration of simple cycles rooted at their minimum vertex.  The
+/// path always starts at `root` with all interior vertices > root; a cycle
+/// is reported when an edge returns to root and the direction is canonical
+/// (second vertex < last vertex), so each cycle appears exactly once.
+class CycleEnumerator {
+ public:
+  CycleEnumerator(const Graph& h, std::uint32_t max_len,
+                  const std::function<bool(std::span<const VertexId>)>& fn)
+      : h_(h), max_len_(max_len), fn_(fn), on_path_(h.n()) {}
+
+  void run() {
+    for (VertexId root = 0; root < h_.n() && !stopped_; ++root) {
+      path_.assign(1, root);
+      on_path_.set(root);
+      extend();
+      on_path_.reset_touched();
+    }
+  }
+
+ private:
+  void extend() {
+    if (stopped_) return;
+    const VertexId u = path_.back();
+    for (const auto& arc : h_.neighbors(u)) {
+      if (stopped_) return;
+      const VertexId x = arc.to;
+      if (x == path_.front()) {
+        // Closing edge.  Need >= 3 vertices and canonical direction.
+        if (path_.size() >= 3 && path_[1] < path_.back()) {
+          if (!fn_(path_)) stopped_ = true;
+        }
+        continue;
+      }
+      if (x < path_.front() || on_path_.test(x)) continue;
+      if (path_.size() >= max_len_) continue;  // would exceed the cap
+      path_.push_back(x);
+      on_path_.set(x);
+      extend();
+      path_.pop_back();
+      // ScratchMask cannot reset one id; rebuild from the path.
+      on_path_.reset_touched();
+      for (const auto v : path_) on_path_.set(v);
+    }
+  }
+
+  const Graph& h_;
+  std::uint32_t max_len_;
+  const std::function<bool(std::span<const VertexId>)>& fn_;
+  ScratchMask on_path_;
+  std::vector<VertexId> path_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+void for_each_short_cycle(
+    const Graph& h, std::uint32_t max_len,
+    const std::function<bool(std::span<const VertexId>)>& fn) {
+  if (max_len < 3) return;
+  CycleEnumerator(h, max_len, fn).run();
+}
+
+std::optional<std::vector<VertexId>> find_unblocked_cycle(
+    const Graph& h, std::span<const BlockingPair> blocking,
+    std::uint32_t max_len) {
+  // Index pairs by edge id for O(1) lookup per cycle edge.
+  std::vector<std::vector<VertexId>> blockers_of_edge(h.m());
+  for (const auto& pair : blocking) {
+    FTSPAN_REQUIRE(pair.e < h.m() && pair.x < h.n(), "blocking pair out of range");
+    blockers_of_edge[pair.e].push_back(pair.x);
+  }
+
+  std::optional<std::vector<VertexId>> counterexample;
+  ScratchMask on_cycle(h.n());
+  for_each_short_cycle(h, max_len, [&](std::span<const VertexId> cycle) {
+    on_cycle.reset_touched();
+    for (const auto v : cycle) on_cycle.set(v);
+    bool blocked = false;
+    for (std::size_t i = 0; i < cycle.size() && !blocked; ++i) {
+      const VertexId a = cycle[i];
+      const VertexId b = cycle[(i + 1) % cycle.size()];
+      const auto e = h.find_edge(a, b);
+      FTSPAN_ASSERT(e.has_value(), "cycle uses a non-edge");
+      for (const auto x : blockers_of_edge[*e]) {
+        if (on_cycle.test(x)) {
+          blocked = true;
+          break;
+        }
+      }
+    }
+    if (!blocked) {
+      counterexample.emplace(cycle.begin(), cycle.end());
+      return false;  // stop enumeration
+    }
+    return true;
+  });
+  return counterexample;
+}
+
+Lemma7Sample lemma7_sample(const Graph& h, std::span<const BlockingPair> blocking,
+                           std::uint32_t k, std::uint32_t f, Rng& rng) {
+  FTSPAN_REQUIRE(k >= 1 && f >= 1, "lemma7_sample requires k, f >= 1");
+  Lemma7Sample out;
+  const std::size_t target = h.n() / (2 * (2 * k - 1) * f);
+  out.sampled_nodes = target;
+  if (target == 0) return out;
+
+  // Uniform subset of exactly `target` nodes (partial Fisher-Yates).
+  std::vector<VertexId> perm(h.n());
+  for (VertexId v = 0; v < h.n(); ++v) perm[v] = v;
+  for (std::size_t i = 0; i < target; ++i) {
+    const auto j = i + rng.next_below(perm.size() - i);
+    std::swap(perm[i], perm[j]);
+  }
+  Mask in_sample(h.n());
+  for (std::size_t i = 0; i < target; ++i) in_sample.set(perm[i]);
+
+  // E(H'): edges with both endpoints sampled.  B': pairs with x, u, v all
+  // sampled.  H'' drops every edge named by B'.
+  Mask edge_dropped(h.m());
+  for (const auto& pair : blocking) {
+    const auto& e = h.edge(pair.e);
+    if (in_sample.test(pair.x) && in_sample.test(e.u) && in_sample.test(e.v))
+      edge_dropped.set(pair.e);
+  }
+
+  std::vector<EdgeId> kept;
+  for (EdgeId id = 0; id < h.m(); ++id) {
+    const auto& e = h.edge(id);
+    if (!in_sample.test(e.u) || !in_sample.test(e.v)) continue;
+    ++out.edges_sampled;
+    if (!edge_dropped.test(id)) kept.push_back(id);
+  }
+  out.edges_kept = kept.size();
+
+  const Graph h2 = edge_subgraph(h, kept);
+  out.girth_ok = girth_exceeds(h2, 2 * k);
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace ftspan

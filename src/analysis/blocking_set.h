@@ -1,0 +1,70 @@
+// Blocking sets (Definition 2) and the Lemma 6/7 machinery.
+//
+// A t-blocking set of H is a set B of (vertex, edge) pairs such that every
+// cycle of length <= t in H contains both members of some pair.  Lemma 6:
+// the certificates recorded by the modified greedy give a (2k)-blocking set
+// of size <= (2k-1) f |E(H)|.  Lemma 7: random subsampling of a graph with a
+// small blocking set leaves a dense subgraph of girth > 2k, which the Moore
+// bound turns into Theorem 8's size bound.  E9 measures all of this.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/result.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace analysis {
+
+/// One blocking pair (x, e): vertex x and edge e of H with x not an
+/// endpoint of e.
+struct BlockingPair {
+  VertexId x = kInvalidVertex;
+  EdgeId e = kInvalidEdge;  ///< H-edge id
+
+  friend bool operator==(const BlockingPair&, const BlockingPair&) = default;
+};
+
+/// Lemma 6 construction: B = {(x, e) : e accepted with certificate F_e,
+/// x in F_e}.  Requires a vertex-model build with recorded certificates.
+[[nodiscard]] std::vector<BlockingPair> blocking_set_from_build(
+    const SpannerBuild& build);
+
+/// Enumerates every simple cycle of h with at most `max_len` vertices,
+/// invoking fn(cycle) with the vertex sequence (each cycle reported once,
+/// rooted at its smallest vertex).  fn returns false to stop early.
+/// Exponential in max_len; intended for small stretch values.
+void for_each_short_cycle(
+    const Graph& h, std::uint32_t max_len,
+    const std::function<bool(std::span<const VertexId>)>& fn);
+
+/// Definition 2 check: does every cycle of length <= max_len contain some
+/// pair of B?  On failure returns the uncovered cycle.
+[[nodiscard]] std::optional<std::vector<VertexId>> find_unblocked_cycle(
+    const Graph& h, std::span<const BlockingPair> blocking,
+    std::uint32_t max_len);
+
+/// One Lemma 7 trial on H with blocking set B.
+struct Lemma7Sample {
+  std::size_t sampled_nodes = 0;   ///< |V(H')| = floor(n / (2(2k-1)f))
+  std::size_t edges_sampled = 0;   ///< |E(H')|
+  std::size_t edges_kept = 0;      ///< |E(H'')| after removing blocked edges
+  bool girth_ok = false;           ///< girth(H'') > 2k
+};
+
+/// Samples H' on floor(n / (2(2k-1)f)) uniform nodes, removes every edge
+/// appearing in a surviving blocking pair, and reports the resulting
+/// subgraph's size and girth (the proof of Lemma 7 verbatim).
+[[nodiscard]] Lemma7Sample lemma7_sample(const Graph& h,
+                                         std::span<const BlockingPair> blocking,
+                                         std::uint32_t k, std::uint32_t f,
+                                         Rng& rng);
+
+}  // namespace analysis
+}  // namespace ftspan

@@ -1,0 +1,64 @@
+#include "analysis/girth.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ftspan {
+
+namespace {
+
+/// Shortest cycle length <= `best`-1 discoverable from root r via BFS; the
+/// minimum over all roots is the exact girth (cycles found through non-root
+/// vertices can only overestimate, and the true shortest cycle is found when
+/// rooting at one of its vertices).
+std::uint32_t shortest_cycle_from(const Graph& g, VertexId r, std::uint32_t best,
+                                  std::vector<std::uint32_t>& dist,
+                                  std::vector<EdgeId>& via,
+                                  std::vector<VertexId>& queue) {
+  dist.assign(g.n(), kUnreachableHops);
+  via.assign(g.n(), kInvalidEdge);
+  queue.clear();
+  dist[r] = 0;
+  queue.push_back(r);
+  // Depth beyond best/2 cannot improve on `best`.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    if (2 * dist[u] + 1 >= best) break;
+    for (const auto& arc : g.neighbors(u)) {
+      if (arc.edge == via[u]) continue;  // the tree edge we arrived on
+      if (dist[arc.to] == kUnreachableHops) {
+        dist[arc.to] = dist[u] + 1;
+        via[arc.to] = arc.edge;
+        queue.push_back(arc.to);
+      } else {
+        // Non-tree edge: closes a cycle through r of this length (or the
+        // estimate overestimates a cycle not through r — harmless, since the
+        // minimum over all roots is exact).
+        best = std::min(best, dist[u] + dist[arc.to] + 1);
+      }
+    }
+  }
+  return best;
+}
+
+std::uint32_t girth_bounded(const Graph& g, std::uint32_t stop_at) {
+  std::uint32_t best = kInfiniteGirth;
+  std::vector<std::uint32_t> dist;
+  std::vector<EdgeId> via;
+  std::vector<VertexId> queue;
+  for (VertexId r = 0; r < g.n(); ++r) {
+    best = shortest_cycle_from(g, r, best, dist, via, queue);
+    if (best <= stop_at) return best;  // caller only cares about <= stop_at
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t girth(const Graph& g) { return girth_bounded(g, 2); }
+
+bool girth_exceeds(const Graph& g, std::uint32_t limit) {
+  return girth_bounded(g, limit) > limit;
+}
+
+}  // namespace ftspan

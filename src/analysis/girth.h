@@ -1,0 +1,28 @@
+// Girth computation.
+//
+// The size analysis of the paper (Theorem 8 via Lemma 7) rests on the Moore
+// bound: a graph with girth > 2k has O(n^{1+1/k}) edges.  These routines let
+// the tests and E9 check the girth side of that argument directly.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/graph.h"
+
+namespace ftspan {
+
+/// Girth reported for acyclic graphs.
+inline constexpr std::uint32_t kInfiniteGirth =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Exact girth (length of a shortest cycle) of g, or kInfiniteGirth for
+/// forests.  BFS from every vertex: O(n*m).
+[[nodiscard]] std::uint32_t girth(const Graph& g);
+
+/// True iff g contains no cycle of length <= limit (i.e. girth > limit).
+/// Early-exits on the first short cycle.
+[[nodiscard]] bool girth_exceeds(const Graph& g, std::uint32_t limit);
+
+}  // namespace ftspan

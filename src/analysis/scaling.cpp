@@ -1,0 +1,39 @@
+#include "analysis/scaling.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ftspan {
+namespace analysis {
+
+PowerFit fit_power_law(std::span<const double> x, std::span<const double> y) {
+  FTSPAN_REQUIRE(x.size() == y.size(), "x and y must be the same length");
+  FTSPAN_REQUIRE(x.size() >= 2, "need at least two points to fit");
+  const auto n = static_cast<double>(x.size());
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    FTSPAN_REQUIRE(x[i] > 0 && y[i] > 0, "power-law fit needs positive data");
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double var_x = sxx - sx * sx / n;
+  const double var_y = syy - sy * sy / n;
+  const double cov = sxy - sx * sy / n;
+  FTSPAN_REQUIRE(var_x > 0, "x values must not all coincide");
+
+  PowerFit fit;
+  fit.exponent = cov / var_x;
+  fit.log_coeff = (sy - fit.exponent * sx) / n;
+  fit.r_squared = var_y <= 0 ? 1.0 : (cov * cov) / (var_x * var_y);
+  return fit;
+}
+
+}  // namespace analysis
+}  // namespace ftspan

@@ -1,0 +1,27 @@
+// Log-log regression for empirical scaling exponents.
+//
+// The benchmark harness checks the *shape* of the paper's bounds (e.g.
+// |H| ~ n^{1+1/k} in E1) by fitting y = C * x^a over a parameter sweep and
+// comparing the fitted exponent a with the theorem's.
+
+#pragma once
+
+#include <span>
+
+namespace ftspan {
+namespace analysis {
+
+/// Fit of y ~= exp(log_coeff) * x^exponent by least squares on (ln x, ln y).
+struct PowerFit {
+  double exponent = 0.0;
+  double log_coeff = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Fits a power law; requires x.size() == y.size() >= 2 and strictly
+/// positive data.
+[[nodiscard]] PowerFit fit_power_law(std::span<const double> x,
+                                     std::span<const double> y);
+
+}  // namespace analysis
+}  // namespace ftspan

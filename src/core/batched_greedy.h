@@ -1,0 +1,36 @@
+// Batched greedy: a parallelizable relaxation of Algorithms 3/4.
+//
+// Section 6 of the paper notes that the greedy algorithm "tends to be
+// difficult to parallelize" because every decision depends on all earlier
+// ones.  This variant cuts that chain at batch boundaries: the edges of a
+// batch are all tested (Algorithm 2) against the same snapshot of H — the
+// tests are embarrassingly parallel within a batch — and every YES edge is
+// added at once.
+//
+// Correctness is unconditional: a rejected edge saw a NO on a subgraph of
+// the final H, and with the scan sorted by weight every edge of the
+// witnessing path is no heavier than the rejected edge (the Theorem 5/10
+// arguments verbatim).  What degrades is the *size*: Lemma 6's blocking-set
+// argument picks the last edge of a short cycle, and a whole cycle can now
+// enter in one batch with nothing blocking it.  Experiment E15 measures
+// that size/parallelism tradeoff; batch_size = 1 recovers Algorithm 4
+// exactly.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/options.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ftspan {
+
+/// Runs the batched greedy with the given batch size (>= 1).  Scan order is
+/// nondecreasing weight, as in Algorithm 4.  SpannerBuild::stats counts one
+/// oracle call per scanned edge, exactly like modified_greedy_spanner.
+[[nodiscard]] SpannerBuild batched_greedy_spanner(const Graph& g,
+                                                  const SpannerParams& params,
+                                                  std::size_t batch_size);
+
+}  // namespace ftspan

@@ -1,0 +1,142 @@
+#include "core/fault_search.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+struct FaultSetSearch::Frame {
+  const Graph* g = nullptr;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  PathBound bound;
+  ScratchMask mask;                   // current fault set as a mask
+  std::vector<std::uint32_t> chosen;  // current fault set as a stack
+  std::vector<VertexId> path;         // scratch for the path oracle
+  std::vector<std::uint32_t> best;    // minimize: best cut found so far
+  std::uint32_t best_size = 0;        // minimize: prune bound (best.size() or cap+1)
+  bool found_best = false;
+};
+
+namespace {
+
+/// Elements of `path` a blocking set may use: interior vertices (vertex
+/// model) or the path's edges (edge model).
+void branch_candidates(const Graph& g, FaultModel model,
+                       const std::vector<VertexId>& path,
+                       std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (model == FaultModel::vertex) {
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) out.push_back(path[i]);
+  } else {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const auto e = g.find_edge(path[i], path[i + 1]);
+      FTSPAN_ASSERT(e.has_value(), "path oracle produced a non-edge");
+      out.push_back(*e);
+    }
+  }
+}
+
+}  // namespace
+
+bool FaultSetSearch::exists_dfs(Frame& fr, std::uint32_t remaining) {
+  ++nodes_;
+  const FaultView faults = fr.mask.universe() == 0
+                               ? FaultView{}
+                               : (model_ == FaultModel::vertex
+                                      ? FaultView{fr.mask.bytes(), {}}
+                                      : FaultView{{}, fr.mask.bytes()});
+  const bool have_path =
+      fr.bound.weighted_mode()
+          ? dijkstra_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
+                                    fr.bound.max_weight)
+          : bfs_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
+                               fr.bound.max_hops);
+  if (!have_path) return true;  // fr.chosen blocks everything
+  if (remaining == 0) return false;
+
+  std::vector<std::uint32_t> candidates;
+  branch_candidates(*fr.g, model_, fr.path, candidates);
+  for (const auto c : candidates) {
+    fr.mask.set(c);
+    fr.chosen.push_back(c);
+    if (exists_dfs(fr, remaining - 1)) return true;
+    fr.chosen.pop_back();
+    // ScratchMask has no single-element reset; rebuild from the stack.
+    fr.mask.reset_touched();
+    for (const auto kept : fr.chosen) fr.mask.set(kept);
+  }
+  return false;
+}
+
+void FaultSetSearch::minimize_dfs(Frame& fr, std::uint32_t used) {
+  ++nodes_;
+  if (used >= fr.best_size) return;  // cannot improve
+  const FaultView faults = model_ == FaultModel::vertex
+                               ? FaultView{fr.mask.bytes(), {}}
+                               : FaultView{{}, fr.mask.bytes()};
+  const bool have_path =
+      fr.bound.weighted_mode()
+          ? dijkstra_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
+                                    fr.bound.max_weight)
+          : bfs_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
+                               fr.bound.max_hops);
+  if (!have_path) {
+    fr.best = fr.chosen;
+    fr.best_size = used;
+    fr.found_best = true;
+    return;
+  }
+  if (used + 1 >= fr.best_size) return;  // even one more element can't win
+
+  std::vector<std::uint32_t> candidates;
+  branch_candidates(*fr.g, model_, fr.path, candidates);
+  for (const auto c : candidates) {
+    fr.mask.set(c);
+    fr.chosen.push_back(c);
+    minimize_dfs(fr, used + 1);
+    fr.chosen.pop_back();
+    fr.mask.reset_touched();
+    for (const auto kept : fr.chosen) fr.mask.set(kept);
+  }
+}
+
+std::optional<FaultSet> FaultSetSearch::find_blocking_set(
+    const Graph& g, VertexId u, VertexId v, const PathBound& bound,
+    std::uint32_t max_faults) {
+  FTSPAN_REQUIRE(u < g.n() && v < g.n() && u != v, "bad terminals");
+  Frame fr;
+  fr.g = &g;
+  fr.u = u;
+  fr.v = v;
+  fr.bound = bound;
+  fr.mask.ensure_universe(model_ == FaultModel::vertex ? g.n() : g.m());
+  if (!exists_dfs(fr, max_faults)) return std::nullopt;
+  FaultSet out;
+  out.model = model_;
+  out.ids = fr.chosen;
+  return out;
+}
+
+std::optional<FaultSet> FaultSetSearch::find_minimum_cut(const Graph& g,
+                                                         VertexId u, VertexId v,
+                                                         const PathBound& bound,
+                                                         std::uint32_t size_cap) {
+  FTSPAN_REQUIRE(u < g.n() && v < g.n() && u != v, "bad terminals");
+  Frame fr;
+  fr.g = &g;
+  fr.u = u;
+  fr.v = v;
+  fr.bound = bound;
+  fr.mask.ensure_universe(model_ == FaultModel::vertex ? g.n() : g.m());
+  fr.best_size = size_cap + 1;
+  minimize_dfs(fr, 0);
+  if (!fr.found_best) return std::nullopt;
+  FaultSet out;
+  out.model = model_;
+  out.ids = fr.best;
+  return out;
+}
+
+}  // namespace ftspan

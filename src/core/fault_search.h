@@ -1,0 +1,86 @@
+// Exact fault-set search via hitting-set branch-and-bound.
+//
+// The exponential-time step of the greedy algorithm of [BDPW18, BP19]
+// (Algorithm 1) asks: is there a fault set F with |F| <= f such that
+// d_{H \ F}(u, v) > budget?  Equivalently: does a set of <= f vertices/edges
+// hit every "short" u-v path?  Any such F must contain an element of every
+// short path, so branching on the elements of one surviving short path
+// explores a superset of all minimal candidates — a complete search.  The
+// same engine, run as branch-and-bound over the cut size, solves minimum
+// Length-Bounded Cut exactly (used to measure Algorithm 2's approximation
+// quality in E5) and finds per-pair spanner violations for the verifier.
+//
+// Worst-case exponential (Length-Bounded Cut is NP-hard [BEH+06]); intended
+// for small instances and small f.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "graph/fault_mask.h"
+#include "graph/search.h"
+#include "graph/types.h"
+
+namespace ftspan {
+
+/// Which u-v paths count as "short" (must be blocked by the fault set).
+/// Exactly one bound is active: a finite max_weight selects weighted mode
+/// (Dijkstra); otherwise max_hops selects hop mode (BFS).
+struct PathBound {
+  std::uint32_t max_hops = kUnreachableHops;
+  Weight max_weight = kUnreachableWeight;
+
+  /// Paths with at most t edges are short (unweighted greedy, LBC).
+  [[nodiscard]] static PathBound hops(std::uint32_t t) noexcept {
+    return PathBound{t, kUnreachableWeight};
+  }
+  /// Paths with total weight at most b are short (weighted greedy).
+  [[nodiscard]] static PathBound weight(Weight b) noexcept {
+    return PathBound{kUnreachableHops, b};
+  }
+
+  [[nodiscard]] bool weighted_mode() const noexcept {
+    return std::isfinite(max_weight);
+  }
+};
+
+/// Complete search for fault sets blocking all short u-v paths.
+class FaultSetSearch {
+ public:
+  explicit FaultSetSearch(FaultModel model = FaultModel::vertex) noexcept
+      : model_(model) {}
+
+  [[nodiscard]] FaultModel model() const noexcept { return model_; }
+
+  /// Finds any F with |F| <= max_faults such that no short u-v path survives
+  /// in g \ F (F excludes u, v in the vertex model).  Returns std::nullopt
+  /// when no such set exists.  This is Algorithm 1's "if" condition.
+  std::optional<FaultSet> find_blocking_set(const Graph& g, VertexId u,
+                                            VertexId v, const PathBound& bound,
+                                            std::uint32_t max_faults);
+
+  /// Finds a minimum-cardinality F (of size <= size_cap) blocking all short
+  /// u-v paths: the exact Length-Bounded Cut optimum.  std::nullopt when no
+  /// cut of size <= size_cap exists.
+  std::optional<FaultSet> find_minimum_cut(const Graph& g, VertexId u,
+                                           VertexId v, const PathBound& bound,
+                                           std::uint32_t size_cap);
+
+  /// Search-tree nodes visited over this object's lifetime (instrumentation).
+  [[nodiscard]] std::uint64_t nodes_visited() const noexcept { return nodes_; }
+
+ private:
+  struct Frame;  // internal search state
+
+  bool exists_dfs(Frame& fr, std::uint32_t remaining);
+  void minimize_dfs(Frame& fr, std::uint32_t used);
+
+  FaultModel model_;
+  BfsRunner bfs_;
+  DijkstraRunner dijkstra_;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace ftspan

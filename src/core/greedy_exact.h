@@ -1,0 +1,24 @@
+// Algorithm 1: the exponential-time greedy of [BDPW18, BP19].
+//
+// Scan the edges of G in nondecreasing weight order; add {u,v} to H iff some
+// fault set F with |F| <= f satisfies d_{H \ F}(u, v) > (2k-1) * w(u,v).
+// Achieves the optimal O(f^{1-1/k} n^{1+1/k}) size [BP19] but the test is
+// NP-hard, so this is the small-instance baseline the paper's polynomial
+// algorithm is measured against (experiments E4, E10).
+
+#pragma once
+
+#include "core/options.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ftspan {
+
+/// Runs Algorithm 1 on g.  Worst-case exponential in f; intended for small
+/// graphs.  With record_certificates, SpannerBuild::certificates holds the
+/// witnessing fault set for each accepted edge.
+[[nodiscard]] SpannerBuild exact_greedy_spanner(const Graph& g,
+                                                const SpannerParams& params,
+                                                bool record_certificates = false);
+
+}  // namespace ftspan

@@ -1,0 +1,58 @@
+#include "core/lbc.h"
+
+#include "util/check.h"
+
+namespace ftspan {
+
+LbcResult LbcSolver::decide(const Graph& g, VertexId u, VertexId v,
+                            std::uint32_t t, std::uint32_t alpha) {
+  FTSPAN_REQUIRE(u < g.n() && v < g.n(), "LBC terminal out of range");
+  FTSPAN_REQUIRE(u != v, "LBC terminals must be distinct");
+  FTSPAN_REQUIRE(t >= 1, "LBC requires t >= 1");
+
+  vertex_cut_.ensure_universe(g.n());
+  edge_cut_.ensure_universe(g.m());
+
+  LbcResult result;
+  result.cut.model = model_;
+
+  FaultView faults;
+  if (model_ == FaultModel::vertex)
+    faults.failed_vertices = vertex_cut_.bytes();
+  else
+    faults.failed_edges = edge_cut_.bytes();
+
+  for (std::uint32_t i = 0; i <= alpha; ++i) {
+    ++result.sweeps;
+    ++total_sweeps_;
+    if (!bfs_.shortest_path(g, u, v, path_, faults, t)) {
+      result.yes = true;
+      break;
+    }
+    if (model_ == FaultModel::vertex) {
+      // Interior vertices only; u and v may never be cut.
+      for (std::size_t j = 1; j + 1 < path_.size(); ++j) vertex_cut_.set(path_[j]);
+    } else {
+      for (std::size_t j = 0; j + 1 < path_.size(); ++j) {
+        const auto edge = g.find_edge(path_[j], path_[j + 1]);
+        FTSPAN_ASSERT(edge.has_value(), "BFS path uses a non-edge");
+        edge_cut_.set(*edge);
+      }
+    }
+  }
+
+  const auto& touched = model_ == FaultModel::vertex ? vertex_cut_.touched()
+                                                     : edge_cut_.touched();
+  result.cut.ids.assign(touched.begin(), touched.end());
+  vertex_cut_.reset_touched();
+  edge_cut_.reset_touched();
+  return result;
+}
+
+LbcResult lbc_decide(const Graph& g, VertexId u, VertexId v, std::uint32_t t,
+                     std::uint32_t alpha, FaultModel model) {
+  LbcSolver solver(model);
+  return solver.decide(g, u, v, t, alpha);
+}
+
+}  // namespace ftspan

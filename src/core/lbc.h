@@ -1,0 +1,67 @@
+// Algorithm 2: the gap decision procedure LBC(t, alpha) for
+// Length-Bounded Cut (Section 3.1 of the paper).
+//
+// Given terminals u, v, repeat alpha + 1 times: find a u-v path of at most t
+// hops avoiding the cut built so far; if none exists answer YES, otherwise
+// add the path's interior vertices (vertex model) or its edges (edge model)
+// to the cut.  Guarantees (Theorem 4):
+//   * a length-t cut of size <= alpha exists        => YES,
+//   * every length-t cut has size   > alpha * t     => NO,
+// in O((m + n) * alpha) time.  On YES the accumulated cut is itself a valid
+// length-t cut of size <= alpha * (t - 1) (vertex model; <= alpha * t for
+// edges) — the certificate F_e used by Lemma 6.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/fault_mask.h"
+#include "graph/search.h"
+#include "graph/types.h"
+
+namespace ftspan {
+
+/// Outcome of one LBC(t, alpha) decision.
+struct LbcResult {
+  /// YES: the accumulated `cut` kills every u-v path of <= t hops.
+  bool yes = false;
+  /// The accumulated fault set (valid length-t cut iff `yes`).
+  FaultSet cut;
+  /// Number of BFS sweeps performed (<= alpha + 1).
+  std::uint32_t sweeps = 0;
+};
+
+/// Reusable Algorithm 2 engine.  Holds scratch masks and a BFS workspace so
+/// the modified greedy can issue Theta(m) decisions without reallocation.
+class LbcSolver {
+ public:
+  explicit LbcSolver(FaultModel model = FaultModel::vertex) noexcept
+      : model_(model) {}
+
+  [[nodiscard]] FaultModel model() const noexcept { return model_; }
+
+  /// Decides LBC(t, alpha) for terminals u, v on g.
+  /// Requires u != v, both in range, t >= 1.
+  LbcResult decide(const Graph& g, VertexId u, VertexId v, std::uint32_t t,
+                   std::uint32_t alpha);
+
+  /// Total BFS sweeps across all decisions (instrumentation).
+  [[nodiscard]] std::uint64_t total_sweeps() const noexcept {
+    return total_sweeps_;
+  }
+
+ private:
+  FaultModel model_;
+  BfsRunner bfs_;
+  ScratchMask vertex_cut_;
+  ScratchMask edge_cut_;
+  std::vector<VertexId> path_;
+  std::uint64_t total_sweeps_ = 0;
+};
+
+/// One-shot convenience wrapper around LbcSolver::decide.
+[[nodiscard]] LbcResult lbc_decide(const Graph& g, VertexId u, VertexId v,
+                                   std::uint32_t t, std::uint32_t alpha,
+                                   FaultModel model = FaultModel::vertex);
+
+}  // namespace ftspan

@@ -1,0 +1,50 @@
+// Result type returned by the spanner construction algorithms.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ftspan {
+
+/// Instrumentation counters collected while building a spanner.
+struct SpannerBuildStats {
+  /// Spanned-or-not decisions made (one per scanned edge): LBC runs for the
+  /// modified greedy, fault-set searches for the exact greedy.
+  std::uint64_t oracle_calls = 0;
+  /// Individual BFS/Dijkstra sweeps performed inside those decisions.
+  std::uint64_t search_sweeps = 0;
+  /// Wall-clock construction time.
+  double seconds = 0.0;
+};
+
+/// A constructed spanner H together with provenance and instrumentation.
+struct SpannerBuild {
+  /// The spanner H: same vertex set as G, subset of G's edges.
+  Graph spanner;
+  /// Ids (into the input graph) of the selected edges, in acceptance order.
+  std::vector<EdgeId> picked;
+  /// When certificate recording was requested: for each accepted edge, the
+  /// fault set F_e that witnessed "not yet spanned" at insertion time
+  /// (vertex ids are global; edge ids refer to H, whose ids are stable).
+  /// Feeds the Lemma 6 blocking-set analysis.  Aligned with `picked`.
+  std::vector<FaultSet> certificates;
+  SpannerBuildStats stats;
+};
+
+/// The paper's size bound for the modified greedy (Theorem 8) without its
+/// hidden constant: k * f^(1-1/k) * n^(1+1/k).  With f == 0 this degenerates
+/// to the non-fault-tolerant greedy bound n^(1+1/k) (f is clamped to 1).
+[[nodiscard]] inline double theorem8_size_bound(std::size_t n, std::uint32_t k,
+                                                std::uint32_t f) noexcept {
+  const double kk = k;
+  const double ff = f == 0 ? 1.0 : f;
+  const double nn = static_cast<double>(n);
+  return kk * std::pow(ff, 1.0 - 1.0 / kk) * std::pow(nn, 1.0 + 1.0 / kk);
+}
+
+}  // namespace ftspan

@@ -1,0 +1,295 @@
+#include "distrib/congest_bs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ftspan::distrib {
+
+namespace {
+
+constexpr std::uint32_t kTagFlood = 1;     // (cluster, sampled)
+constexpr std::uint32_t kTagExchange = 2;  // (cluster-or-sentinel, sampled)
+constexpr std::uint32_t kTagDecide = 3;    // (spanner bit, discard bit)
+
+constexpr std::uint64_t kNoCluster = ~std::uint64_t{0};
+
+/// Scratch for lightest-edge-per-cluster bucketing (plain maps are fine
+/// here: degree-bounded and per-decide-round only).
+struct Buckets {
+  struct Entry {
+    Weight w;
+    std::size_t local;  // local edge index
+  };
+  std::vector<std::pair<VertexId, Entry>> lightest;  // cluster -> entry
+
+  void clear() { lightest.clear(); }
+
+  void offer(VertexId cluster, Weight w, std::size_t local) {
+    for (auto& [c, entry] : lightest) {
+      if (c == cluster) {
+        if (w < entry.w) entry = Entry{w, local};
+        return;
+      }
+    }
+    lightest.emplace_back(cluster, Entry{w, local});
+  }
+};
+
+}  // namespace
+
+std::uint32_t congest_bs_schedule_rounds(std::uint32_t k) noexcept {
+  std::uint32_t rounds = 0;
+  for (std::uint32_t i = 1; i < k; ++i) rounds += i + 2;
+  return rounds + 3;  // phase 2: exchange, pick, settle
+}
+
+CongestBsProgram::CongestBsProgram(VertexId self, const Graph& g,
+                                   std::uint32_t k,
+                                   std::span<const std::uint8_t> participates,
+                                   double sample_probability, Rng rng)
+    : self_(self),
+      graph_(&g),
+      k_(k),
+      sample_probability_(sample_probability),
+      rng_(rng),
+      cluster_(self) {
+  FTSPAN_REQUIRE(k >= 1, "spanner requires k >= 1");
+  FTSPAN_REQUIRE(participates.size() == g.n(), "participation bitmap size");
+  participate_ = participates[self] != 0;
+  if (!participate_) {
+    cluster_ = kInvalidVertex;
+    done_ = true;
+  }
+
+  std::uint32_t start = 0;
+  for (std::uint32_t i = 1; i < k; ++i) {
+    windows_.push_back(IterationWindow{start, start + i, start + i + 1});
+    start += i + 2;
+  }
+  phase2_exchange_ = start;
+
+  const auto& arcs = g.neighbors(self);
+  alive_.resize(arcs.size());
+  neighbor_cluster_.assign(arcs.size(), kInvalidVertex);
+  neighbor_sampled_.assign(arcs.size(), 0);
+  for (std::size_t i = 0; i < arcs.size(); ++i)
+    alive_[i] = participate_ && participates[arcs[i].to] != 0;
+}
+
+std::size_t CongestBsProgram::local_index(VertexId neighbor) const {
+  const auto& arcs = graph_->neighbors(self_);
+  for (std::size_t i = 0; i < arcs.size(); ++i)
+    if (arcs[i].to == neighbor) return i;
+  FTSPAN_ASSERT(false, "message from a non-neighbor");
+}
+
+void CongestBsProgram::process_inbox(NodeContext& ctx) {
+  for (const auto& msg : ctx.inbox()) {
+    const std::size_t local = local_index(msg.from);
+    switch (msg.tag) {
+      case kTagFlood: {
+        if (informed_) break;
+        const auto c = static_cast<VertexId>(msg.words[0]);
+        if (cluster_ != kInvalidVertex && c == cluster_) {
+          informed_ = true;
+          my_cluster_sampled_ = msg.words[1] != 0;
+        }
+        break;
+      }
+      case kTagExchange: {
+        neighbor_cluster_[local] = msg.words[0] == kNoCluster
+                                       ? kInvalidVertex
+                                       : static_cast<VertexId>(msg.words[0]);
+        neighbor_sampled_[local] = msg.words[1] != 0 ? 1 : 0;
+        break;
+      }
+      case kTagDecide: {
+        if (msg.words[0] != 0)  // neighbor put our edge in the spanner
+          chosen_.push_back(graph_->neighbors(self_)[local].edge);
+        if (msg.words[1] != 0)  // neighbor discarded our edge
+          alive_[local] = 0;
+        break;
+      }
+      default:
+        FTSPAN_ASSERT(false, "unknown message tag");
+    }
+  }
+}
+
+void CongestBsProgram::flood_if_informed(NodeContext& ctx) {
+  if (!informed_ || announced_ || cluster_ == kInvalidVertex) return;
+  announced_ = true;
+  for (const auto& arc : ctx.neighbors()) {
+    Message msg;
+    msg.tag = kTagFlood;
+    msg.words = {cluster_, my_cluster_sampled_ ? 1u : 0u};
+    msg.bits = 8 + bits_for_universe(ctx.n()) + 1;
+    ctx.send(arc.to, std::move(msg));
+  }
+}
+
+void CongestBsProgram::send_exchange(NodeContext& ctx) {
+  for (const auto& arc : ctx.neighbors()) {
+    Message msg;
+    msg.tag = kTagExchange;
+    msg.words = {cluster_ == kInvalidVertex ? kNoCluster
+                                            : static_cast<std::uint64_t>(cluster_),
+                 my_cluster_sampled_ ? 1u : 0u};
+    msg.bits = 8 + bits_for_universe(ctx.n()) + 2;
+    ctx.send(arc.to, std::move(msg));
+  }
+}
+
+void CongestBsProgram::decide(NodeContext& ctx) {
+  if (cluster_ == kInvalidVertex || my_cluster_sampled_) return;
+
+  const auto& arcs = graph_->neighbors(self_);
+  Buckets buckets;
+  std::vector<std::size_t> own_cluster_edges;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (alive_[i] == 0) continue;
+    const VertexId cu = neighbor_cluster_[i];
+    if (cu == kInvalidVertex) continue;  // neighbor dropped out or absent
+    if (cu == cluster_) {
+      own_cluster_edges.push_back(i);  // intra-cluster: never needed
+      continue;
+    }
+    buckets.offer(cu, arcs[i].w, i);
+  }
+
+  // Lightest sampled adjacent cluster, if any.
+  const std::pair<VertexId, Buckets::Entry>* best = nullptr;
+  for (const auto& candidate : buckets.lightest) {
+    const std::size_t local = candidate.second.local;
+    if (neighbor_sampled_[local] == 0) continue;
+    if (best == nullptr || candidate.second.w < best->second.w)
+      best = &candidate;
+  }
+
+  auto notify = [&](std::size_t local, bool spanner, bool discard) {
+    Message msg;
+    msg.tag = kTagDecide;
+    msg.words = {spanner ? 1u : 0u, discard ? 1u : 0u};
+    msg.bits = 8 + 2;
+    ctx.send(arcs[local].to, std::move(msg));
+    if (spanner) chosen_.push_back(arcs[local].edge);
+    if (discard) alive_[local] = 0;
+  };
+
+  // Discard intra-cluster edges outright.
+  for (const auto local : own_cluster_edges) notify(local, false, true);
+
+  auto connect_and_discard_bundle = [&](VertexId cluster, std::size_t light) {
+    // The lightest edge joins the spanner; the whole bundle to `cluster`
+    // dies.  One message per affected edge.
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (alive_[i] == 0 || neighbor_cluster_[i] != cluster) continue;
+      notify(i, i == light, true);
+    }
+  };
+
+  if (best == nullptr) {
+    // No sampled cluster in sight: connect to every adjacent cluster, drop.
+    for (const auto& [cluster, entry] : buckets.lightest)
+      connect_and_discard_bundle(cluster, entry.local);
+    cluster_ = kInvalidVertex;
+  } else {
+    const Weight w_star = best->second.w;
+    const VertexId new_cluster = best->first;
+    connect_and_discard_bundle(new_cluster, best->second.local);
+    for (const auto& [cluster, entry] : buckets.lightest) {
+      if (cluster == new_cluster) continue;
+      if (entry.w < w_star) connect_and_discard_bundle(cluster, entry.local);
+    }
+    cluster_ = new_cluster;
+  }
+}
+
+void CongestBsProgram::phase2_pick(NodeContext& ctx) {
+  if (cluster_ == kInvalidVertex) return;
+  const auto& arcs = graph_->neighbors(self_);
+  Buckets buckets;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (alive_[i] == 0) continue;
+    const VertexId cu = neighbor_cluster_[i];
+    if (cu == kInvalidVertex || cu == cluster_) continue;
+    buckets.offer(cu, arcs[i].w, i);
+  }
+  for (const auto& [cluster, entry] : buckets.lightest) {
+    Message msg;
+    msg.tag = kTagDecide;
+    msg.words = {1u, 1u};
+    msg.bits = 8 + 2;
+    ctx.send(arcs[entry.local].to, std::move(msg));
+    chosen_.push_back(arcs[entry.local].edge);
+  }
+}
+
+void CongestBsProgram::on_round(NodeContext& ctx) {
+  if (!participate_) return;
+  process_inbox(ctx);
+  const std::uint32_t round = ctx.round();
+
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const auto& win = windows_[i];
+    if (round == win.flood_begin) {
+      // Iteration starts: reset flood state; centers draw the coin.
+      informed_ = false;
+      announced_ = false;
+      if (cluster_ == self_) {
+        informed_ = true;
+        my_cluster_sampled_ = rng_.next_bool(sample_probability_);
+      }
+      if (cluster_ == kInvalidVertex) informed_ = true;  // nothing to learn
+    }
+    if (round >= win.flood_begin && round < win.exchange)
+      flood_if_informed(ctx);
+    if (round == win.exchange) {
+      FTSPAN_ASSERT(cluster_ == kInvalidVertex || informed_,
+                    "flood window too short for the cluster radius");
+      send_exchange(ctx);
+    }
+    if (round == win.decide) decide(ctx);
+  }
+
+  if (round == phase2_exchange_) {
+    my_cluster_sampled_ = false;
+    send_exchange(ctx);
+  }
+  if (round == phase2_exchange_ + 1) phase2_pick(ctx);
+  if (round >= phase2_exchange_ + 2) done_ = true;
+}
+
+CongestBsResult congest_baswana_sen(const Graph& g, std::uint32_t k,
+                                    std::uint64_t seed, double bits_factor) {
+  std::vector<std::uint8_t> everyone(g.n(), 1);
+  const double p =
+      std::pow(static_cast<double>(std::max<std::size_t>(g.n(), 2)), -1.0 / k);
+
+  Rng root(seed);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(g.n());
+  for (VertexId v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<CongestBsProgram>(
+        v, g, k, everyone, p, root.split()));
+
+  Network net(g, ModelLimits::congest(g.n(), bits_factor));
+  net.install(std::move(programs));
+  CongestBsResult result;
+  result.stats = net.run(congest_bs_schedule_rounds(k) + 2);
+  FTSPAN_REQUIRE(result.stats.completed, "CONGEST BS failed to quiesce");
+
+  result.spanner = Graph(g.n(), g.weighted());
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const auto& program = static_cast<CongestBsProgram&>(net.program(v));
+    for (const auto id : program.chosen_edges()) {
+      const auto& e = g.edge(id);
+      result.spanner.ensure_edge(e.u, e.v, e.w);
+    }
+  }
+  return result;
+}
+
+}  // namespace ftspan::distrib

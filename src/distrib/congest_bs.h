@@ -1,0 +1,110 @@
+// Theorem 14: the Baswana-Sen (2k-1)-spanner in the CONGEST model, as a
+// message-level node program.
+//
+// Round schedule (globally known, derived from k alone), iteration i of
+// phase 1 occupying i+2 rounds:
+//   * flood window (i rounds): each cluster center draws its sampling coin
+//     and the (cluster id, sampled) pair floods the cluster, which has hop
+//     radius <= i-1;
+//   * exchange round: every vertex tells its neighbors its current cluster
+//     and the sampled bit;
+//   * decide round: unsampled-cluster vertices pick their lightest edges
+//     exactly as in the centralized algorithm, notify the chosen/discarded
+//     neighbors (one O(1)-bit message per affected edge), and re-home.
+// Phase 2 takes the final 3 rounds.  Total: sum_{i<k}(i+2) + 3 = O(k^2)
+// rounds with O(log n)-bit messages, matching [BS07] as cited by the paper.
+//
+// The program also runs on a subset of participating vertices (the DK11
+// iterations of Theorem 15); non-participants stay silent and their edges
+// are ignored.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distrib/sim.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan::distrib {
+
+/// Total rounds of the schedule for stretch parameter k.
+[[nodiscard]] std::uint32_t congest_bs_schedule_rounds(std::uint32_t k) noexcept;
+
+/// Per-node Baswana-Sen program.
+class CongestBsProgram final : public NodeProgram {
+ public:
+  /// `participates` spans all vertices (shared knowledge established before
+  /// the run — in Theorem 15 it is exchanged during phase 1).
+  /// `sample_probability` is n_effective^{-1/k} where n_effective is the
+  /// (expected) number of participants.
+  CongestBsProgram(VertexId self, const Graph& g, std::uint32_t k,
+                   std::span<const std::uint8_t> participates,
+                   double sample_probability, Rng rng);
+
+  void on_round(NodeContext& ctx) override;
+  [[nodiscard]] bool finished() const override { return done_; }
+
+  /// Global edge ids this vertex selected for the spanner (valid after the
+  /// run; the union over vertices is the spanner).
+  [[nodiscard]] const std::vector<EdgeId>& chosen_edges() const noexcept {
+    return chosen_;
+  }
+
+  /// This vertex's cluster at the end (kInvalidVertex once dropped out).
+  [[nodiscard]] VertexId cluster() const noexcept { return cluster_; }
+
+ private:
+  struct IterationWindow {
+    std::uint32_t flood_begin;
+    std::uint32_t exchange;
+    std::uint32_t decide;
+  };
+
+  void process_inbox(NodeContext& ctx);
+  void flood_if_informed(NodeContext& ctx);
+  void send_exchange(NodeContext& ctx);
+  void decide(NodeContext& ctx);
+  void phase2_pick(NodeContext& ctx);
+  [[nodiscard]] std::size_t local_index(VertexId neighbor) const;
+
+  VertexId self_;
+  const Graph* graph_;
+  std::uint32_t k_;
+  double sample_probability_;
+  Rng rng_;
+  bool participate_ = true;
+  bool done_ = false;
+
+  // Schedule.
+  std::vector<IterationWindow> windows_;
+  std::uint32_t phase2_exchange_ = 0;
+
+  // Cluster state.
+  VertexId cluster_;
+  bool informed_ = false;       // knows (cluster, sampled) this iteration
+  bool announced_ = false;      // flooded it already
+  bool my_cluster_sampled_ = false;
+
+  // Per incident edge (local index parallel to graph_->neighbors(self)):
+  std::vector<std::uint8_t> alive_;
+  std::vector<VertexId> neighbor_cluster_;   // sentinel kInvalidVertex = none
+  std::vector<std::uint8_t> neighbor_sampled_;
+
+  std::vector<EdgeId> chosen_;
+};
+
+/// Result of a standalone CONGEST Baswana-Sen run.
+struct CongestBsResult {
+  Graph spanner;
+  RunStats stats;
+};
+
+/// Theorem 14: runs the program on all of g under CONGEST limits.
+[[nodiscard]] CongestBsResult congest_baswana_sen(const Graph& g,
+                                                  std::uint32_t k,
+                                                  std::uint64_t seed,
+                                                  double bits_factor = 4.0);
+
+}  // namespace ftspan::distrib

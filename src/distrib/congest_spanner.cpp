@@ -1,0 +1,135 @@
+#include "distrib/congest_spanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "distrib/congest_bs.h"
+#include "spanner/dk11.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ftspan::distrib {
+
+CongestFtResult congest_ft_spanner(const Graph& g, const CongestFtConfig& config) {
+  config.params.validate();
+  FTSPAN_REQUIRE(config.params.model == FaultModel::vertex,
+                 "the DK11 framework samples vertices");
+  FTSPAN_REQUIRE(config.params.f >= 1, "requires f >= 1");
+
+  const std::size_t n = g.n();
+  const std::uint32_t f = config.params.f;
+  const std::uint32_t k = config.params.k;
+  CongestFtResult result;
+  result.spanner = Graph(n, g.weighted());
+  if (n == 0) return result;
+
+  const std::uint32_t J = dk11_iterations(n, f, config.iteration_factor);
+  result.instances = J;
+
+  // ------------------------------------------------------------- Phase 1
+  // Participation sets: vertex v joins iteration j with probability
+  // 1/(f+1) (Theta(1/f); see dk11.cpp for why not the paper's literal 1/f).
+  Rng root(config.seed);
+  std::vector<std::vector<std::uint8_t>> participates(
+      J, std::vector<std::uint8_t>(n, 0));
+  std::vector<std::uint32_t> set_size(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    Rng node_rng = root.split();
+    for (std::uint32_t j = 0; j < J; ++j)
+      if (node_rng.next_bool(1.0 / (f + 1.0))) {
+        participates[j][v] = 1;
+        ++set_size[v];
+      }
+  }
+
+  // Each vertex streams its set to every neighbor; an index takes
+  // O(log J) = O(log f + log log n) bits and B bits fit per round.
+  const auto limits = ModelLimits::congest(n, config.bits_factor);
+  const std::uint32_t bits_per_index = bits_for_universe(std::max(J, 2u));
+  const std::uint32_t indices_per_message =
+      std::max(1u, (limits.bits_per_edge_round - 8) / bits_per_index);
+  std::uint32_t phase1_rounds = 1;  // even empty sets announce "done"
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) continue;
+    const std::uint32_t rounds_v =
+        (set_size[v] + indices_per_message - 1) / indices_per_message;
+    phase1_rounds = std::max(phase1_rounds, std::max(1u, rounds_v));
+    result.messages +=
+        static_cast<std::uint64_t>(std::max(1u, rounds_v)) * g.degree(v);
+  }
+  result.phase1_rounds = phase1_rounds;
+
+  // ------------------------------------------------------------- Phase 2
+  // J Baswana-Sen instances in lockstep; per virtual round each directed
+  // edge drains its message queue one message per physical round.
+  const double n_effective =
+      std::max(2.0, static_cast<double>(n) / (f + 1.0));
+  const std::uint32_t schedule = congest_bs_schedule_rounds(k);
+  result.virtual_rounds = schedule;
+
+  struct Instance {
+    std::vector<std::unique_ptr<CongestBsProgram>> programs;
+    std::vector<NodeContext> contexts;
+    std::vector<std::vector<Message>> mail;
+    std::vector<std::vector<Message>> next_mail;
+  };
+  std::vector<Instance> instances(J);
+  for (std::uint32_t j = 0; j < J; ++j) {
+    auto& inst = instances[j];
+    inst.programs.reserve(n);
+    inst.contexts.reserve(n);
+    inst.mail.resize(n);
+    inst.next_mail.resize(n);
+    const double p = std::pow(n_effective, -1.0 / k);
+    for (VertexId v = 0; v < n; ++v) {
+      inst.programs.push_back(std::make_unique<CongestBsProgram>(
+          v, g, k, participates[j], p, root.split()));
+      inst.contexts.emplace_back(g, v);
+    }
+  }
+
+  std::vector<std::uint32_t> edge_load(g.m() * 2);
+  for (std::uint32_t round = 0; round < schedule + 1; ++round) {
+    std::fill(edge_load.begin(), edge_load.end(), 0);
+    bool any_message = false;
+    for (auto& inst : instances) {
+      for (VertexId v = 0; v < n; ++v) {
+        inst.contexts[v].begin_round(round, std::move(inst.mail[v]));
+        inst.mail[v].clear();
+        inst.programs[v]->on_round(inst.contexts[v]);
+        for (auto& out : inst.contexts[v].take_outbox()) {
+          const auto edge = g.find_edge(v, out.to);
+          FTSPAN_ASSERT(edge.has_value(), "send() verified adjacency");
+          ++edge_load[static_cast<std::size_t>(*edge) * 2 + (v < out.to ? 0 : 1)];
+          ++result.messages;
+          out.msg.from = v;
+          inst.next_mail[out.to].push_back(std::move(out.msg));
+          any_message = true;
+        }
+      }
+      inst.mail.swap(inst.next_mail);
+    }
+    const std::uint32_t congestion =
+        edge_load.empty() ? 0
+                          : *std::max_element(edge_load.begin(), edge_load.end());
+    result.max_edge_congestion = std::max(result.max_edge_congestion, congestion);
+    // One virtual round costs max(1, congestion) physical rounds: every
+    // queued message needs a slot on its edge, and queues drain in parallel.
+    result.phase2_rounds += std::max(1u, congestion);
+    if (!any_message && round >= schedule) break;
+  }
+
+  // Union of all instances' choices.
+  for (const auto& inst : instances) {
+    for (VertexId v = 0; v < n; ++v) {
+      for (const auto id : inst.programs[v]->chosen_edges()) {
+        const auto& e = g.edge(id);
+        result.spanner.ensure_edge(e.u, e.v, e.w);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ftspan::distrib

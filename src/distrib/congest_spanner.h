@@ -1,0 +1,56 @@
+// Theorem 15: fault-tolerant spanners in the CONGEST model.
+//
+// The Dinitz-Krauthgamer framework (J = O(f^3 log n) iterations, each vertex
+// participating with probability 1/f) instantiated with the CONGEST
+// Baswana-Sen program, in two phases:
+//
+//   Phase 1 — every vertex draws its participation set I_v (expected size
+//   J/f = O(f^2 log n)) and streams it to each neighbor.  An iteration index
+//   costs O(log f + log log n) bits, and B = Theta(log n) bits fit per edge
+//   per round, so this takes O(f^2 (log f + log log n)) rounds.
+//
+//   Phase 2 — all J Baswana-Sen instances run in parallel, their messages
+//   tagged with the iteration index.  Each directed edge carries one
+//   message per physical round (store-and-forward FIFO), so one virtual
+//   Baswana-Sen round costs max-edge-congestion physical rounds — whp
+//   O(f log n), for O(k^2 f log n) physical rounds overall.
+//
+// Output: an f-VFT (2k-1)-spanner with O(k f^{2-1/k} n^{1+1/k} log n) edges
+// whp.  The simulator charges physical rounds from the real per-edge queues,
+// not from the whp bound.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "distrib/sim.h"
+#include "graph/graph.h"
+
+namespace ftspan::distrib {
+
+/// Configuration of the Theorem 15 construction.
+struct CongestFtConfig {
+  SpannerParams params;         ///< model must be vertex; f >= 1
+  double iteration_factor = 1.0;  ///< J = ceil(factor * f^3 * ln n)
+  double bits_factor = 4.0;       ///< B = factor * ceil(log2 n) bits
+  std::uint64_t seed = 0xc0ffee;
+};
+
+/// Result and accounting of a Theorem 15 run.
+struct CongestFtResult {
+  Graph spanner;
+  std::uint32_t instances = 0;        ///< J
+  std::uint32_t phase1_rounds = 0;    ///< participation exchange
+  std::uint32_t virtual_rounds = 0;   ///< Baswana-Sen schedule length
+  std::uint32_t phase2_rounds = 0;    ///< physical rounds after scheduling
+  /// Most instance-messages queued on one directed edge in one virtual round.
+  std::uint32_t max_edge_congestion = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Runs the Theorem 15 construction.
+[[nodiscard]] CongestFtResult congest_ft_spanner(const Graph& g,
+                                                 const CongestFtConfig& config);
+
+}  // namespace ftspan::distrib

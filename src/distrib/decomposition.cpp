@@ -1,0 +1,169 @@
+#include "distrib/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ftspan::distrib {
+
+namespace {
+
+constexpr std::uint32_t kTagAdopt = 1;
+
+/// Per-vertex decomposition program; all `ell` partitions in parallel.
+/// Message payload: (partition index, center id).
+class DecompositionProgram final : public NodeProgram {
+ public:
+  DecompositionProgram(std::size_t ell, std::uint32_t delta_cap,
+                       std::vector<std::uint32_t> wake_round)
+      : wake_round_(std::move(wake_round)),
+        center_(ell, kInvalidVertex),
+        parent_(ell, kInvalidVertex),
+        announced_(ell, 0),
+        delta_cap_(delta_cap) {}
+
+  void on_round(NodeContext& ctx) override {
+    const std::size_t ell = center_.size();
+    // 1. Adopt the best offer per partition (smallest center id wins ties).
+    for (const auto& msg : ctx.inbox()) {
+      if (msg.tag != kTagAdopt) continue;
+      const auto j = static_cast<std::size_t>(msg.words[0]);
+      const auto c = static_cast<VertexId>(msg.words[1]);
+      if (center_[j] == kInvalidVertex ||
+          (pending_adopt_[j] != 0 && c < center_[j])) {
+        if (center_[j] == kInvalidVertex) pending_adopt_[j] = 1;
+        if (pending_adopt_[j] != 0) {
+          center_[j] = c;
+          parent_[j] = msg.from;
+        }
+      }
+    }
+    // 2. Self-wake where still unassigned.
+    for (std::size_t j = 0; j < ell; ++j) {
+      if (center_[j] == kInvalidVertex && ctx.round() >= wake_round_[j]) {
+        center_[j] = ctx.id();
+        parent_[j] = kInvalidVertex;
+      }
+    }
+    // 3. Announce newly assigned partitions to all neighbors.
+    for (std::size_t j = 0; j < ell; ++j) {
+      if (center_[j] == kInvalidVertex || announced_[j] != 0) continue;
+      announced_[j] = 1;
+      for (const auto& arc : ctx.neighbors()) {
+        Message msg;
+        msg.tag = kTagAdopt;
+        msg.words = {static_cast<std::uint64_t>(j),
+                     static_cast<std::uint64_t>(center_[j])};
+        msg.bits = 8 + bits_for_universe(ell) + bits_for_universe(ctx.n());
+        ctx.send(arc.to, std::move(msg));
+      }
+    }
+    pending_adopt_.assign(center_.size(), 0);
+  }
+
+  [[nodiscard]] bool finished() const override {
+    return std::all_of(announced_.begin(), announced_.end(),
+                       [](std::uint8_t a) { return a != 0; });
+  }
+
+  [[nodiscard]] const std::vector<VertexId>& centers() const noexcept {
+    return center_;
+  }
+  [[nodiscard]] const std::vector<VertexId>& parents() const noexcept {
+    return parent_;
+  }
+
+  /// Call before the run: sizes the per-round adoption scratch.
+  void prepare() { pending_adopt_.assign(center_.size(), 0); }
+
+ private:
+  std::vector<std::uint32_t> wake_round_;
+  std::vector<VertexId> center_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint8_t> announced_;
+  std::vector<std::uint8_t> pending_adopt_;
+  std::uint32_t delta_cap_;
+};
+
+}  // namespace
+
+Decomposition build_decomposition(const Graph& g,
+                                  const DecompositionConfig& config) {
+  FTSPAN_REQUIRE(config.beta > 0 && config.beta <= 1.0, "beta must be in (0,1]");
+  FTSPAN_REQUIRE(config.partitions_factor > 0, "partitions_factor must be > 0");
+  const std::size_t n = g.n();
+  const double log2n = std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+  const auto ell = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(config.partitions_factor * log2n)));
+  // P(delta > cap) = exp(-beta * cap) <= 1/n^2 at cap = 2 ln(n) / beta.
+  const auto delta_cap = static_cast<std::uint32_t>(
+      std::ceil(2.0 * std::log(static_cast<double>(std::max<std::size_t>(n, 2))) /
+                config.beta));
+
+  // Draw shifts (each node's local randomness, split from the seed).
+  Rng root(config.seed);
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    Rng node_rng = root.split();
+    std::vector<std::uint32_t> wake(ell);
+    for (auto& w : wake) {
+      const double delta =
+          std::min<double>(node_rng.next_exponential(config.beta), delta_cap);
+      w = delta_cap - static_cast<std::uint32_t>(std::floor(delta));
+    }
+    auto program =
+        std::make_unique<DecompositionProgram>(ell, delta_cap, std::move(wake));
+    program->prepare();
+    programs.push_back(std::move(program));
+  }
+
+  Network net(g, ModelLimits::local());
+  net.install(std::move(programs));
+  Decomposition out;
+  out.stats = net.run(delta_cap + 4);
+  FTSPAN_REQUIRE(out.stats.completed, "decomposition failed to quiesce");
+
+  // Collect partitions from the node states.
+  out.partitions.assign(ell, Partition{});
+  for (auto& part : out.partitions) {
+    part.center_of.assign(n, kInvalidVertex);
+    part.parent_of.assign(n, kInvalidVertex);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& program = static_cast<DecompositionProgram&>(net.program(v));
+    for (std::size_t j = 0; j < ell; ++j) {
+      out.partitions[j].center_of[v] = program.centers()[j];
+      out.partitions[j].parent_of[v] = program.parents()[j];
+    }
+  }
+  // Radii via parent chains.
+  for (auto& part : out.partitions) {
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint32_t depth = 0;
+      VertexId cur = v;
+      while (part.parent_of[cur] != kInvalidVertex) {
+        cur = part.parent_of[cur];
+        ++depth;
+        FTSPAN_ASSERT(depth <= n, "parent chain has a cycle");
+      }
+      part.max_radius = std::max(part.max_radius, depth);
+    }
+  }
+  // Theorem 11(4): count edges never internal to a cluster.
+  for (const auto& e : g.edges()) {
+    bool covered = false;
+    for (const auto& part : out.partitions) {
+      if (part.center_of[e.u] == part.center_of[e.v]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) ++out.uncovered_edges;
+  }
+  return out;
+}
+
+}  // namespace ftspan::distrib

@@ -1,0 +1,61 @@
+// Theorem 11: padded low-diameter decomposition in the LOCAL model.
+//
+// Exponential-shift clustering in the style of Miller-Peng-Xu [MPX13] (also
+// implicit in [LS93, Bar96, DK11]): every vertex draws delta ~ Exp(beta) and
+// wakes at round (Delta - floor(delta)); clusters grow one hop per round
+// from woken centers, each vertex joining the first cluster to reach it.
+// Running ell = O(log n) independent repetitions in parallel gives
+// partitions P_1..P_ell such that:
+//   1. each P_i partitions V,
+//   2. every cluster has hop diameter O(log n) (radius <= Delta) and a
+//      center vertex,
+//   3. ell = O(log n),
+//   4. whp every edge is internal to some cluster of some partition.
+// All messages fit easily in O(log n) bits per partition; the simulation
+// runs in O(Delta) = O(log n) rounds because partitions proceed in parallel.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distrib/sim.h"
+#include "graph/graph.h"
+
+namespace ftspan::distrib {
+
+/// Tuning knobs of the decomposition.
+struct DecompositionConfig {
+  /// Exponential shift rate; cluster radius is O(log(n)/beta) and an edge is
+  /// cut by one partition with probability O(beta).
+  double beta = 0.25;
+  /// Number of partitions ell = ceil(partitions_factor * log2 n).
+  double partitions_factor = 2.0;
+  std::uint64_t seed = 0xdecau;
+};
+
+/// One partition of V into clusters.
+struct Partition {
+  /// Per vertex: the cluster center it belongs to.
+  std::vector<VertexId> center_of;
+  /// Per vertex: the neighbor it was infected from (tree edge toward the
+  /// center; kInvalidVertex for centers themselves).
+  std::vector<VertexId> parent_of;
+  /// Max hop distance from any vertex to its center along the tree.
+  std::uint32_t max_radius = 0;
+};
+
+/// The full decomposition plus simulation statistics.
+struct Decomposition {
+  std::vector<Partition> partitions;
+  RunStats stats;
+  /// Number of edges {u,v} such that no partition places u and v in the
+  /// same cluster (Theorem 11(4) says this is 0 whp).
+  std::size_t uncovered_edges = 0;
+};
+
+/// Runs the decomposition on the LOCAL simulator.
+[[nodiscard]] Decomposition build_decomposition(const Graph& g,
+                                                const DecompositionConfig& config);
+
+}  // namespace ftspan::distrib

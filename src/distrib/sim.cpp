@@ -1,0 +1,106 @@
+#include "distrib/sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ftspan::distrib {
+
+std::uint32_t bits_for_universe(std::size_t universe) noexcept {
+  std::uint32_t bits = 1;
+  while ((std::size_t{1} << bits) < universe && bits < 63) ++bits;
+  return bits;
+}
+
+ModelLimits ModelLimits::congest(std::size_t n, double factor) {
+  FTSPAN_REQUIRE(factor > 0, "congest bandwidth factor must be positive");
+  ModelLimits limits;
+  limits.bounded = true;
+  const double log_n = std::log2(static_cast<double>(std::max<std::size_t>(n, 2)));
+  limits.bits_per_edge_round =
+      std::max<std::uint32_t>(16, static_cast<std::uint32_t>(
+                                      std::ceil(factor * std::ceil(log_n))));
+  return limits;
+}
+
+void NodeContext::send(VertexId to, Message msg) {
+  FTSPAN_REQUIRE(graph_->has_edge(id_, to),
+                 "nodes may only message their neighbors");
+  FTSPAN_REQUIRE(msg.bits <= 8 + 64 * msg.words.size(),
+                 "declared bit size exceeds the payload");
+  outbox_.push_back(Outgoing{to, std::move(msg)});
+}
+
+void NodeContext::begin_round(std::uint32_t round, std::vector<Message> inbox) {
+  round_ = round;
+  inbox_ = std::move(inbox);
+  outbox_.clear();
+}
+
+std::vector<NodeContext::Outgoing> NodeContext::take_outbox() noexcept {
+  return std::move(outbox_);
+}
+
+Network::Network(const Graph& g, ModelLimits limits)
+    : graph_(&g), limits_(limits) {
+  contexts_.reserve(g.n());
+  for (VertexId v = 0; v < g.n(); ++v) contexts_.emplace_back(g, v);
+}
+
+void Network::install(std::vector<std::unique_ptr<NodeProgram>> programs) {
+  FTSPAN_REQUIRE(programs.size() == graph_->n(), "one program per vertex");
+  programs_ = std::move(programs);
+}
+
+NodeProgram& Network::program(VertexId v) {
+  FTSPAN_REQUIRE(v < programs_.size(), "vertex out of range");
+  return *programs_[v];
+}
+
+RunStats Network::run(std::uint32_t max_rounds) {
+  FTSPAN_REQUIRE(programs_.size() == graph_->n(), "install programs first");
+  RunStats stats;
+  const std::size_t n = graph_->n();
+  std::vector<std::vector<Message>> mailbox(n);   // to deliver this round
+  std::vector<std::vector<Message>> next_mail(n); // being produced
+
+  // Directed-edge bit accounting: edge id * 2 + (u < v ? 0 : 1).
+  std::vector<std::uint32_t> edge_bits(graph_->m() * 2);
+
+  for (std::uint32_t round = 0; round < max_rounds; ++round) {
+    bool all_finished = true;
+    bool any_message = false;
+
+    std::fill(edge_bits.begin(), edge_bits.end(), 0);
+    for (VertexId v = 0; v < n; ++v) {
+      contexts_[v].begin_round(round, std::move(mailbox[v]));
+      mailbox[v].clear();
+      programs_[v]->on_round(contexts_[v]);
+      for (auto& out : contexts_[v].take_outbox()) {
+        const auto edge = graph_->find_edge(v, out.to);
+        FTSPAN_ASSERT(edge.has_value(), "send() verified adjacency");
+        const std::size_t slot = static_cast<std::size_t>(*edge) * 2 +
+                                 (v < out.to ? 0 : 1);
+        edge_bits[slot] += out.msg.bits;
+        if (limits_.bounded)
+          FTSPAN_REQUIRE(edge_bits[slot] <= limits_.bits_per_edge_round,
+                         "CONGEST bandwidth exceeded on an edge");
+        stats.max_edge_bits = std::max(stats.max_edge_bits, edge_bits[slot]);
+        ++stats.messages;
+        stats.total_bits += out.msg.bits;
+        out.msg.from = v;
+        next_mail[out.to].push_back(std::move(out.msg));
+        any_message = true;
+      }
+      if (!programs_[v]->finished()) all_finished = false;
+    }
+    stats.rounds = round + 1;
+    mailbox.swap(next_mail);
+    if (all_finished && !any_message) return stats;
+  }
+  stats.completed = false;
+  return stats;
+}
+
+}  // namespace ftspan::distrib

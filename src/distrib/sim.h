@@ -1,0 +1,132 @@
+// Synchronous message-passing simulator for the LOCAL and CONGEST models
+// [Pel00].
+//
+// Execution proceeds in rounds.  In every round each node program reads its
+// inbox (messages sent to it in the previous round), performs arbitrary
+// local computation, and sends at most one message per incident edge.  The
+// simulator counts rounds, messages, and bits; under CONGEST limits it
+// *enforces* the per-edge-per-round bit budget, so an algorithm that
+// overflows the model fails loudly instead of quietly cheating.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ftspan::distrib {
+
+/// A message: a short sequence of 64-bit words plus its declared size in
+/// bits (CONGEST accounting charges `bits`, which may be less than
+/// 64 * words.size() when fields are sub-word).
+struct Message {
+  std::uint32_t tag = 0;  ///< protocol-defined message type (charged 8 bits)
+  std::vector<std::uint64_t> words;
+  std::uint32_t bits = 0;
+  VertexId from = kInvalidVertex;  ///< filled in by the simulator
+};
+
+/// Bits needed to name one vertex id (or similar) among `universe` values.
+[[nodiscard]] std::uint32_t bits_for_universe(std::size_t universe) noexcept;
+
+/// Model limits.  LOCAL: unbounded messages.  CONGEST: at most
+/// `bits_per_edge_round` bits per directed edge per round.
+struct ModelLimits {
+  bool bounded = false;
+  std::uint32_t bits_per_edge_round = 0;
+
+  /// The LOCAL model: unbounded bandwidth.
+  [[nodiscard]] static ModelLimits local() noexcept { return {}; }
+
+  /// The CONGEST model with B = ceil(factor * log2 n) bits per edge per
+  /// round (the standard O(log n)-bit regime).
+  [[nodiscard]] static ModelLimits congest(std::size_t n, double factor = 4.0);
+};
+
+/// Per-node view of the network handed to programs each round.  Concrete
+/// (not polymorphic) so that both Network and the parallel scheduler of
+/// Theorem 15 can drive programs through the same interface.
+class NodeContext {
+ public:
+  NodeContext(const Graph& g, VertexId id) : graph_(&g), id_(id) {}
+
+  [[nodiscard]] VertexId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t n() const noexcept { return graph_->n(); }
+  [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+  [[nodiscard]] std::span<const Arc> neighbors() const {
+    return graph_->neighbors(id_);
+  }
+  [[nodiscard]] std::span<const Message> inbox() const noexcept {
+    return inbox_;
+  }
+
+  /// Queues a message to a neighbor; delivered at the start of next round.
+  /// Throws if `to` is not adjacent.
+  void send(VertexId to, Message msg);
+
+  // --- driver API (Network / schedulers), not for node programs ---
+  struct Outgoing {
+    VertexId to;
+    Message msg;
+  };
+  void begin_round(std::uint32_t round, std::vector<Message> inbox);
+  [[nodiscard]] std::vector<Outgoing> take_outbox() noexcept;
+
+ private:
+  const Graph* graph_;
+  VertexId id_;
+  std::uint32_t round_ = 0;
+  std::vector<Message> inbox_;
+  std::vector<Outgoing> outbox_;
+};
+
+/// A distributed algorithm, one instance per node.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  /// Executes one round (round 0 has an empty inbox).
+  virtual void on_round(NodeContext& ctx) = 0;
+  /// True once this node has terminated (it may still receive messages).
+  [[nodiscard]] virtual bool finished() const = 0;
+};
+
+/// Aggregate execution statistics.
+struct RunStats {
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  /// Largest bit load observed on one directed edge in one round.
+  std::uint32_t max_edge_bits = 0;
+  /// False if run() stopped at max_rounds before quiescence.
+  bool completed = true;
+};
+
+/// Drives one program per vertex over a graph until every program reports
+/// finished and no messages are in flight.
+class Network {
+ public:
+  Network(const Graph& g, ModelLimits limits);
+
+  /// Installs the programs (exactly one per vertex).
+  void install(std::vector<std::unique_ptr<NodeProgram>> programs);
+
+  /// Runs to quiescence, or at most max_rounds.
+  RunStats run(std::uint32_t max_rounds);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Access to a node's program (e.g. to collect results after run()).
+  [[nodiscard]] NodeProgram& program(VertexId v);
+
+ private:
+  const Graph* graph_;
+  ModelLimits limits_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<NodeContext> contexts_;
+};
+
+}  // namespace ftspan::distrib

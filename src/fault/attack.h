@@ -1,0 +1,45 @@
+// Adversarial fault-set generation for the sampled verifier.
+//
+// Random fault sets rarely stress a spanner; these strategies aim at its
+// weak spots: high-degree spanner vertices (hubs whose loss disconnects many
+// alternative paths), the neighborhoods of a single pair (trying to sever
+// one edge's detours), and vertices on current replacement paths.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace ftspan {
+
+/// How to pick a fault set of a given size.
+enum class AttackStrategy : std::uint8_t {
+  uniform,        ///< Uniform random distinct elements.
+  high_degree,    ///< Highest-degree vertices of H (randomly tie-broken);
+                  ///< for edge faults: edges incident to high-degree vertices.
+  neighborhood,   ///< Neighbors of one random G-edge's endpoints in H.
+  detour_hitting, ///< Interior of the current H-shortest detour of a random
+                  ///< G-edge, then of the next detour, and so on (greedy,
+                  ///< mirrors Algorithm 2's path-hitting).
+};
+
+/// Draws one fault set of exactly `count` elements (fewer only when the
+/// universe is too small).  `g` is the base graph, `h` the spanner under
+/// attack.  Vertex model excludes no vertices (the verifier skips pairs
+/// whose endpoints failed).
+[[nodiscard]] FaultSet generate_attack(const Graph& g, const Graph& h,
+                                       FaultModel model, std::uint32_t count,
+                                       AttackStrategy strategy, Rng& rng);
+
+/// Cycles deterministically through all strategies: trial i uses strategy
+/// i mod 4.  This is the mix verify_sampled uses.
+[[nodiscard]] FaultSet generate_mixed_attack(const Graph& g, const Graph& h,
+                                             FaultModel model,
+                                             std::uint32_t count,
+                                             std::uint32_t trial_index, Rng& rng);
+
+}  // namespace ftspan

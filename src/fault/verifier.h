@@ -1,0 +1,66 @@
+// Fault-tolerant spanner verification oracle.
+//
+// Checks Definition 1: H is an f-FT t-spanner of G iff for every fault set F
+// (|F| <= f) and surviving pair, d_{H\F} <= t * d_{G\F}.  By Lemma 3 it
+// suffices to check pairs {u,v} in E(G); we check every surviving G-edge
+// against t * d_{G\F}(u,v), which is equivalent.
+//
+// Exhaustive verification enumerates all C(n, <= f) fault sets (feasible for
+// small instances; it is the ground truth in tests).  Sampled verification
+// draws fault sets from a mix of random and adversarial strategies (attack.h)
+// and scales to benchmark-sized graphs.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+
+/// One observed stretch violation (or the worst observed pair).
+struct StretchWitness {
+  FaultSet faults;
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight d_g = 0.0;  ///< d_{G\F}(u,v)
+  Weight d_h = 0.0;  ///< d_{H\F}(u,v); kUnreachableWeight if disconnected
+};
+
+/// Verification outcome.
+struct StretchReport {
+  /// True iff no checked pair exceeded stretch t (within a 1e-9 tolerance).
+  bool ok = true;
+  /// Maximum observed d_{H\F}/d_{G\F} over all checked pairs (infinity when
+  /// some pair was disconnected in H\F but not in G\F).
+  double max_stretch = 0.0;
+  /// The pair and fault set realizing max_stretch.
+  StretchWitness worst;
+  std::uint64_t fault_sets_checked = 0;
+  std::uint64_t pairs_checked = 0;
+};
+
+/// Exhaustively verifies that `h` is an f-FT (2k-1)-spanner of `g`
+/// (all fault sets of size <= f).  Exponential in f; use on small instances.
+/// Requires h.n() == g.n().
+[[nodiscard]] StretchReport verify_exhaustive(const Graph& g, const Graph& h,
+                                              const SpannerParams& params);
+
+/// Verifies against `trials` sampled fault sets (exactly size f each, drawn
+/// from a mix of random and adversarial strategies).  A failure is a
+/// counterexample; success is evidence, not proof.
+[[nodiscard]] StretchReport verify_sampled(const Graph& g, const Graph& h,
+                                           const SpannerParams& params,
+                                           std::uint32_t trials, Rng& rng);
+
+/// Checks one specific fault set: max stretch over surviving G-edges.
+/// `faults.model` must match sizes of g/h (vertex ids < n, edge ids < m of g
+/// -- edge faults are mapped to h via endpoint lookup).
+[[nodiscard]] StretchReport check_fault_set(const Graph& g, const Graph& h,
+                                            const SpannerParams& params,
+                                            const FaultSet& faults);
+
+}  // namespace ftspan

@@ -1,0 +1,55 @@
+// Umbrella header: the full public API of the ftspan library.
+//
+// Fine-grained headers remain available (and are what the library itself
+// uses); include this one to get everything:
+//
+//   #include "ftspan.h"
+//   auto build = ftspan::modified_greedy_spanner(g, {.k = 2, .f = 2});
+
+#pragma once
+
+// Substrate: graphs, searches, generators, serialization.
+#include "graph/extremal.h"
+#include "graph/fault_mask.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/search.h"
+#include "graph/subgraph.h"
+#include "graph/types.h"
+
+// The paper's algorithms (Dinitz-Robelle, PODC 2020).
+#include "core/batched_greedy.h"
+#include "core/fault_search.h"
+#include "core/greedy_exact.h"
+#include "core/lbc.h"
+#include "core/modified_greedy.h"
+#include "core/options.h"
+#include "core/result.h"
+
+// Baseline spanner constructions.
+#include "spanner/add93_greedy.h"
+#include "spanner/baswana_sen.h"
+#include "spanner/dk11.h"
+
+// Fault-tolerance verification.
+#include "fault/attack.h"
+#include "fault/verifier.h"
+
+// Structural analysis (blocking sets, girth, scaling fits).
+#include "analysis/blocking_set.h"
+#include "analysis/girth.h"
+#include "analysis/scaling.h"
+
+// Distributed constructions (LOCAL / CONGEST).
+#include "distrib/congest_bs.h"
+#include "distrib/congest_spanner.h"
+#include "distrib/decomposition.h"
+#include "distrib/local_spanner.h"
+#include "distrib/sim.h"
+
+// Utilities.
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"

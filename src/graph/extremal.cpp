@@ -1,0 +1,76 @@
+#include "graph/extremal.h"
+
+#include <array>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+namespace {
+
+bool is_prime(std::uint32_t q) {
+  if (q < 2) return false;
+  for (std::uint32_t d = 2; d * d <= q; ++d)
+    if (q % d == 0) return false;
+  return true;
+}
+
+/// Canonical representatives of the projective points of GF(q)^3 \ {0}:
+/// the first nonzero coordinate is 1.
+std::vector<std::array<std::uint32_t, 3>> projective_points(std::uint32_t q) {
+  std::vector<std::array<std::uint32_t, 3>> points;
+  points.reserve(static_cast<std::size_t>(q) * q + q + 1);
+  // [1, y, z]
+  for (std::uint32_t y = 0; y < q; ++y)
+    for (std::uint32_t z = 0; z < q; ++z) points.push_back({1, y, z});
+  // [0, 1, z]
+  for (std::uint32_t z = 0; z < q; ++z) points.push_back({0, 1, z});
+  // [0, 0, 1]
+  points.push_back({0, 0, 1});
+  return points;
+}
+
+}  // namespace
+
+Graph projective_plane_incidence(std::uint32_t q) {
+  FTSPAN_REQUIRE(is_prime(q), "projective_plane_incidence requires prime q");
+  const auto points = projective_points(q);  // also used as the lines
+  const auto count = points.size();          // q^2 + q + 1
+  FTSPAN_ASSERT(count == static_cast<std::size_t>(q) * q + q + 1,
+                "point count mismatch");
+
+  // Vertices: [0, count) are points, [count, 2*count) are lines.
+  Graph g(2 * count);
+  g.reserve_edges((q + 1) * count);
+  for (std::size_t p = 0; p < count; ++p) {
+    for (std::size_t l = 0; l < count; ++l) {
+      const auto dot = (static_cast<std::uint64_t>(points[p][0]) * points[l][0] +
+                        static_cast<std::uint64_t>(points[p][1]) * points[l][1] +
+                        static_cast<std::uint64_t>(points[p][2]) * points[l][2]) %
+                       q;
+      if (dot == 0)
+        g.add_edge(static_cast<VertexId>(p), static_cast<VertexId>(count + l));
+    }
+  }
+  return g;
+}
+
+Graph blowup_graph(const Graph& base, std::uint32_t copies) {
+  FTSPAN_REQUIRE(copies >= 1, "blowup requires copies >= 1");
+  Graph g(base.n() * copies, base.weighted());
+  g.reserve_edges(base.m() * copies * copies);
+  for (const auto& e : base.edges()) {
+    for (std::uint32_t i = 0; i < copies; ++i)
+      for (std::uint32_t j = 0; j < copies; ++j)
+        g.add_edge(e.u * copies + i, e.v * copies + j, e.w);
+  }
+  return g;
+}
+
+std::size_t blowup_spanner_lower_bound(const Graph& base,
+                                       std::uint32_t f) noexcept {
+  return static_cast<std::size_t>(f + 1) * base.m();
+}
+
+}  // namespace ftspan

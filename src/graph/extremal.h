@@ -1,0 +1,42 @@
+// Extremal and lower-bound graph constructions.
+//
+// The size lower bounds for fault-tolerant spanners [BDPW18] are built from
+// two ingredients reproduced here:
+//   * extremal high-girth graphs — the incidence graph of a projective
+//     plane PG(2,q) has girth 6 and Theta(n^{3/2}) edges, matching the
+//     Moore bound for k = 2;
+//   * vertex blowups — replacing every vertex by `copies` twins and every
+//     edge by a complete bipartite bundle.  Any f-VFT (2k-1)-spanner of the
+//     blowup of a girth > 2k base must keep at least f+1 edges per bundle
+//     (with copies = f+1): if a bundle retains a matching of at most f, its
+//     endpoints form a fault set of size <= f that leaves some surviving
+//     copy pair whose only detours have length >= girth - 1 > 2k - 1.
+// Experiment E14 measures how close the paper's greedy gets to this bound.
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ftspan {
+
+/// Incidence graph of the projective plane PG(2, q) for prime q: one vertex
+/// per point and per line (n = 2(q^2+q+1)), an edge per incidence.  The
+/// graph is (q+1)-regular, bipartite, has girth 6, and its
+/// (q+1)(q^2+q+1) = Theta(n^{3/2}) edges are extremal for girth > 4 —
+/// the k = 2 Moore bound witness.  Requires q prime (checked).
+[[nodiscard]] Graph projective_plane_incidence(std::uint32_t q);
+
+/// Blowup of `base`: every vertex becomes `copies` twins, every edge a
+/// complete bipartite copies x copies bundle.  Twin i of base vertex v has
+/// id v*copies + i.  Weights are inherited.  Requires copies >= 1.
+[[nodiscard]] Graph blowup_graph(const Graph& base, std::uint32_t copies);
+
+/// The bundle lower bound: with copies = f+1 and girth(base) > 2k, any
+/// f-VFT (2k-1)-spanner of blowup_graph(base, f+1) has at least
+/// (f+1) * m(base) edges.
+[[nodiscard]] std::size_t blowup_spanner_lower_bound(const Graph& base,
+                                                     std::uint32_t f) noexcept;
+
+}  // namespace ftspan

@@ -1,0 +1,104 @@
+// Byte masks used to mark failed vertices/edges during graph searches.
+//
+// ScratchMask additionally remembers which ids were set so it can be reset in
+// time proportional to the number of touched entries rather than the universe
+// size — the inner loops of the greedy algorithms reset masks Θ(m·f) times.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+/// Fixed-universe boolean mask over vertex or edge ids.
+class Mask {
+ public:
+  Mask() = default;
+
+  /// Creates an all-clear mask over ids [0, universe).
+  explicit Mask(std::size_t universe) : bits_(universe, 0) {}
+
+  [[nodiscard]] std::size_t universe() const noexcept { return bits_.size(); }
+
+  [[nodiscard]] bool test(std::uint32_t id) const noexcept {
+    return bits_[id] != 0;
+  }
+
+  void set(std::uint32_t id) noexcept { bits_[id] = 1; }
+  void reset(std::uint32_t id) noexcept { bits_[id] = 0; }
+
+  /// Sets every id in `ids`.
+  void set_all(std::span<const std::uint32_t> ids) noexcept {
+    for (const auto id : ids) set(id);
+  }
+
+  /// Clears the whole mask (O(universe)).
+  void clear() noexcept { bits_.assign(bits_.size(), 0); }
+
+  /// Number of set ids (O(universe)).
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const auto b : bits_) c += b;
+    return c;
+  }
+
+  /// Raw bytes (1 = set) for zero-cost fault views.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return bits_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+/// Mask that tracks touched ids for O(touched) reset.
+class ScratchMask {
+ public:
+  ScratchMask() = default;
+  explicit ScratchMask(std::size_t universe) : bits_(universe, 0) {}
+
+  /// Grows the universe (new ids start clear); never shrinks.
+  void ensure_universe(std::size_t universe) {
+    if (universe > bits_.size()) bits_.resize(universe, 0);
+  }
+
+  [[nodiscard]] std::size_t universe() const noexcept { return bits_.size(); }
+
+  [[nodiscard]] bool test(std::uint32_t id) const noexcept {
+    return bits_[id] != 0;
+  }
+
+  /// Sets `id`; remembers it for reset_touched().  Idempotent.
+  void set(std::uint32_t id) {
+    if (bits_[id] == 0) {
+      bits_[id] = 1;
+      touched_.push_back(id);
+    }
+  }
+
+  /// Ids set since the last reset, in insertion order.
+  [[nodiscard]] std::span<const std::uint32_t> touched() const noexcept {
+    return touched_;
+  }
+
+  /// Clears exactly the touched ids (O(touched)).
+  void reset_touched() noexcept {
+    for (const auto id : touched_) bits_[id] = 0;
+    touched_.clear();
+  }
+
+  /// Raw bytes (1 = set) for zero-cost fault views.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return bits_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  std::vector<std::uint32_t> touched_;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,292 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+Graph path_graph(std::size_t n) {
+  FTSPAN_REQUIRE(n >= 1, "path_graph requires n >= 1");
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  FTSPAN_REQUIRE(n >= 3, "cycle_graph requires n >= 3");
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) g.add_edge(v, static_cast<VertexId>((v + 1) % n));
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  g.reserve_edges(n * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph star_graph(std::size_t n) {
+  FTSPAN_REQUIRE(n >= 1, "star_graph requires n >= 1");
+  Graph g(n);
+  for (VertexId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph grid_graph(std::size_t rows, std::size_t cols) {
+  FTSPAN_REQUIRE(rows >= 1 && cols >= 1, "grid_graph requires positive dims");
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph torus_graph(std::size_t rows, std::size_t cols) {
+  FTSPAN_REQUIRE(rows >= 3 && cols >= 3, "torus_graph requires dims >= 3");
+  Graph g(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  return g;
+}
+
+Graph hypercube_graph(std::size_t dim) {
+  FTSPAN_REQUIRE(dim <= 20, "hypercube dimension too large");
+  const std::size_t n = std::size_t{1} << dim;
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v)
+    for (std::size_t b = 0; b < dim; ++b) {
+      const VertexId u = v ^ static_cast<VertexId>(std::size_t{1} << b);
+      if (v < u) g.add_edge(v, u);
+    }
+  return g;
+}
+
+Graph petersen_graph() {
+  Graph g(10);
+  // Outer 5-cycle, inner 5-cycle with step 2, and spokes.
+  for (VertexId v = 0; v < 5; ++v) {
+    g.add_edge(v, (v + 1) % 5);
+    g.add_edge(static_cast<VertexId>(5 + v), static_cast<VertexId>(5 + (v + 2) % 5));
+    g.add_edge(v, static_cast<VertexId>(5 + v));
+  }
+  return g;
+}
+
+Graph gnp(std::size_t n, double p, Rng& rng) {
+  FTSPAN_REQUIRE(p >= 0.0 && p <= 1.0, "gnp requires p in [0,1]");
+  Graph g(n);
+  if (n < 2 || p == 0.0) return g;
+  if (p == 1.0) return complete_graph(n);
+
+  // Geometric skipping over the lexicographic pair stream (Batagelj-Brandes).
+  const double log_1mp = std::log1p(-p);
+  const std::size_t total = n * (n - 1) / 2;
+  std::size_t idx = 0;
+  while (true) {
+    const double r = rng.next_double();
+    const auto skip =
+        static_cast<std::size_t>(std::floor(std::log1p(-r) / log_1mp));
+    if (skip > total || idx + skip >= total) break;
+    idx += skip;
+    // Decode pair index -> (u, v) with u < v.
+    // Row u starts at offset u*n - u*(u+1)/2 within the pair stream.
+    std::size_t u = 0, row_start = 0;
+    {
+      // Binary search for the row containing idx.
+      std::size_t lo = 0, hi = n - 1;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi + 1) / 2;
+        const std::size_t start = mid * n - mid * (mid + 1) / 2;
+        if (start <= idx)
+          lo = mid;
+        else
+          hi = mid - 1;
+      }
+      u = lo;
+      row_start = u * n - u * (u + 1) / 2;
+    }
+    const std::size_t v = u + 1 + (idx - row_start);
+    g.add_edge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    ++idx;
+  }
+  return g;
+}
+
+Graph gnm(std::size_t n, std::size_t m, Rng& rng) {
+  const std::size_t total = n < 2 ? 0 : n * (n - 1) / 2;
+  FTSPAN_REQUIRE(m <= total, "gnm requires m <= C(n,2)");
+  Graph g(n);
+  g.reserve_edges(m);
+  // Rejection sampling; fine for m well below C(n,2), and for dense requests
+  // we sample the complement instead.
+  if (m > total / 2) {
+    std::vector<std::uint8_t> keep(total, 1);
+    std::size_t removed = 0;
+    while (removed < total - m) {
+      const auto idx = static_cast<std::size_t>(rng.next_below(total));
+      if (keep[idx] != 0) {
+        keep[idx] = 0;
+        ++removed;
+      }
+    }
+    std::size_t idx = 0;
+    for (VertexId u = 0; u < n; ++u)
+      for (VertexId v = u + 1; v < n; ++v, ++idx)
+        if (keep[idx] != 0) g.add_edge(u, v);
+    return g;
+  }
+  while (g.m() < m) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u != v && !g.has_edge(u, v)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, Rng& rng,
+                       std::vector<Point>* coords) {
+  FTSPAN_REQUIRE(radius >= 0.0, "radius must be nonnegative");
+  std::vector<Point> pts(n);
+  for (auto& pt : pts) pt = Point{rng.next_double(), rng.next_double()};
+  Graph g(n);
+  const double r2 = radius * radius;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double dx = pts[u].x - pts[v].x;
+      const double dy = pts[u].y - pts[v].y;
+      if (dx * dx + dy * dy <= r2) g.add_edge(u, v);
+    }
+  if (coords != nullptr) *coords = std::move(pts);
+  return g;
+}
+
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  FTSPAN_REQUIRE(d < n, "random_regular requires d < n");
+  FTSPAN_REQUIRE((n * d) % 2 == 0, "random_regular requires n*d even");
+  if (d == 0) return Graph(n);
+
+  // Configuration model with local repair: pair consecutive stubs of a
+  // shuffled stub list; when a pair would create a loop or parallel edge,
+  // swap its second stub with a random later stub and retry.  Whole-run
+  // restarts happen only when a conflict cannot be repaired (late stubs all
+  // colliding), so the generator is reliable well beyond the d where pure
+  // rejection sampling (acceptance ~exp(-d^2/4)) gives up.  The output
+  // distribution is approximately, not exactly, uniform over d-regular
+  // graphs — fine for test/benchmark workloads.
+  constexpr int kMaxRestarts = 200;
+  constexpr int kMaxSwapsPerPair = 200;
+  std::vector<VertexId> stubs(n * d);
+  for (std::size_t i = 0; i < stubs.size(); ++i)
+    stubs[i] = static_cast<VertexId>(i / d);
+
+  for (int attempt = 0; attempt < kMaxRestarts; ++attempt) {
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      int swaps = 0;
+      while (stubs[i] == stubs[i + 1] || g.has_edge(stubs[i], stubs[i + 1])) {
+        if (i + 2 >= stubs.size() || ++swaps > kMaxSwapsPerPair) {
+          ok = false;
+          break;
+        }
+        const std::size_t j = i + 2 + rng.next_below(stubs.size() - i - 2);
+        std::swap(stubs[i + 1], stubs[j]);
+      }
+      if (ok) g.add_edge(stubs[i], stubs[i + 1]);
+    }
+    if (ok) return g;
+  }
+  throw std::runtime_error("random_regular: too many restarts (d too large?)");
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng) {
+  FTSPAN_REQUIRE(attach >= 1, "barabasi_albert requires attach >= 1");
+  FTSPAN_REQUIRE(n > attach, "barabasi_albert requires n > attach");
+  Graph g(n);
+  // Repeated-endpoint list: picking a uniform element is degree-proportional.
+  std::vector<VertexId> endpoints;
+
+  const auto seed_size = attach + 1;
+  for (VertexId u = 0; u < seed_size; ++u)
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      g.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+
+  for (VertexId v = static_cast<VertexId>(seed_size); v < n; ++v) {
+    std::vector<VertexId> targets;
+    while (targets.size() < attach) {
+      const VertexId t = endpoints[rng.next_below(endpoints.size())];
+      if (t != v && std::find(targets.begin(), targets.end(), t) == targets.end())
+        targets.push_back(t);
+    }
+    for (const VertexId t : targets) {
+      g.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph watts_strogatz(std::size_t n, std::size_t k_ring, double beta, Rng& rng) {
+  FTSPAN_REQUIRE(k_ring >= 1 && 2 * k_ring < n, "watts_strogatz requires 2k < n");
+  FTSPAN_REQUIRE(beta >= 0.0 && beta <= 1.0, "beta must be in [0,1]");
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (std::size_t j = 1; j <= k_ring; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire to a uniform non-neighbor (keep the edge count fixed).
+        VertexId w = v;
+        for (int tries = 0; tries < 64; ++tries) {
+          w = static_cast<VertexId>(rng.next_below(n));
+          if (w != u && !g.has_edge(u, w)) break;
+        }
+        if (w != u && !g.has_edge(u, w)) v = w;
+      }
+      if (!g.has_edge(u, v)) g.add_edge(u, v);
+    }
+  return g;
+}
+
+Graph with_uniform_weights(const Graph& g, Weight lo, Weight hi, Rng& rng) {
+  FTSPAN_REQUIRE(0.0 <= lo && lo <= hi, "requires 0 <= lo <= hi");
+  Graph out(g.n(), /*weighted=*/true);
+  out.reserve_edges(g.m());
+  for (const auto& e : g.edges())
+    out.add_edge(e.u, e.v, lo + (hi - lo) * rng.next_double());
+  return out;
+}
+
+Graph with_euclidean_weights(const Graph& g, std::span<const Point> coords) {
+  FTSPAN_REQUIRE(coords.size() == g.n(), "one coordinate per vertex required");
+  Graph out(g.n(), /*weighted=*/true);
+  out.reserve_edges(g.m());
+  for (const auto& e : g.edges()) {
+    const double dx = coords[e.u].x - coords[e.v].x;
+    const double dy = coords[e.u].y - coords[e.v].y;
+    out.add_edge(e.u, e.v, std::sqrt(dx * dx + dy * dy));
+  }
+  return out;
+}
+
+}  // namespace ftspan

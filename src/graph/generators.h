@@ -1,0 +1,83 @@
+// Graph generators for tests, examples, and the benchmark workloads.
+//
+// All generators produce simple undirected graphs with vertex ids 0..n-1 and
+// deterministic output given the same Rng seed.  Topology generators return
+// unweighted graphs; with_uniform_weights / with_euclidean_weights create
+// weighted copies.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+
+/// A point in the unit square (random geometric graphs, Euclidean weights).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Path v0-v1-...-v(n-1).  Requires n >= 1.
+[[nodiscard]] Graph path_graph(std::size_t n);
+
+/// Cycle on n vertices.  Requires n >= 3.
+[[nodiscard]] Graph cycle_graph(std::size_t n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete_graph(std::size_t n);
+
+/// Star with center 0 and n-1 leaves.  Requires n >= 1.
+[[nodiscard]] Graph star_graph(std::size_t n);
+
+/// rows x cols grid with 4-neighbor connectivity.  Requires rows, cols >= 1.
+[[nodiscard]] Graph grid_graph(std::size_t rows, std::size_t cols);
+
+/// rows x cols torus (grid with wraparound).  Requires rows, cols >= 3.
+[[nodiscard]] Graph torus_graph(std::size_t rows, std::size_t cols);
+
+/// Hypercube Q_dim on 2^dim vertices.  Requires dim <= 20.
+[[nodiscard]] Graph hypercube_graph(std::size_t dim);
+
+/// The Petersen graph (n=10, m=15, girth 5) — a classic test fixture.
+[[nodiscard]] Graph petersen_graph();
+
+/// Erdos-Renyi G(n, p): each of the C(n,2) pairs is an edge independently
+/// with probability p.  Uses geometric skipping, O(n + m) expected time.
+[[nodiscard]] Graph gnp(std::size_t n, double p, Rng& rng);
+
+/// Uniform random graph with exactly m distinct edges.
+/// Requires m <= C(n,2).
+[[nodiscard]] Graph gnm(std::size_t n, std::size_t m, Rng& rng);
+
+/// Random geometric graph: n uniform points in the unit square, edge iff
+/// Euclidean distance <= radius.  Writes the points to *coords when not null.
+[[nodiscard]] Graph random_geometric(std::size_t n, double radius, Rng& rng,
+                                     std::vector<Point>* coords = nullptr);
+
+/// Random d-regular graph via the configuration model with restarts.
+/// Requires n*d even, d < n.
+[[nodiscard]] Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Barabasi-Albert preferential attachment: starts from a clique on
+/// `attach+1` vertices, each later vertex attaches to `attach` distinct
+/// existing vertices with probability proportional to degree.
+[[nodiscard]] Graph barabasi_albert(std::size_t n, std::size_t attach, Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice where each vertex connects to
+/// `k_ring` nearest neighbors per side, each edge rewired with prob beta.
+[[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k_ring, double beta,
+                                   Rng& rng);
+
+/// Weighted copy of `g` with i.i.d. uniform weights in [lo, hi].
+[[nodiscard]] Graph with_uniform_weights(const Graph& g, Weight lo, Weight hi,
+                                         Rng& rng);
+
+/// Weighted copy of `g` whose edge weights are the Euclidean distances
+/// between endpoint coordinates.  Requires coords.size() == g.n().
+[[nodiscard]] Graph with_euclidean_weights(const Graph& g,
+                                           std::span<const Point> coords);
+
+}  // namespace ftspan

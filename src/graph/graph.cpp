@@ -1,0 +1,96 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+Graph::Graph(std::size_t n, bool weighted) : adj_(n), weighted_(weighted) {}
+
+Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges, bool weighted) {
+  Graph g(n, weighted);
+  g.reserve_edges(edges.size());
+  for (const auto& e : edges) g.add_edge(e.u, e.v, e.w);
+  return g;
+}
+
+std::uint64_t Graph::key(VertexId u, VertexId v) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
+  FTSPAN_REQUIRE(u < n() && v < n(), "edge endpoint out of range");
+  FTSPAN_REQUIRE(u != v, "self-loops are not allowed");
+  FTSPAN_REQUIRE(std::isfinite(w) && w >= 0.0, "edge weight must be finite and >= 0");
+  FTSPAN_REQUIRE(weighted_ || w == 1.0, "unweighted graph requires weight 1");
+  FTSPAN_REQUIRE(edge_keys_.insert(key(u, v)).second, "parallel edge rejected");
+
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, w});
+  adj_[u].push_back(Arc{v, id, w});
+  adj_[v].push_back(Arc{u, id, w});
+  return id;
+}
+
+EdgeId Graph::ensure_edge(VertexId u, VertexId v, Weight w) {
+  if (const auto existing = find_edge(u, v)) return *existing;
+  return add_edge(u, v, w);
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  if (u >= n() || v >= n() || u == v) return false;
+  return edge_keys_.count(key(u, v)) > 0;
+}
+
+std::optional<EdgeId> Graph::find_edge(VertexId u, VertexId v) const {
+  if (!has_edge(u, v)) return std::nullopt;
+  // Scan the smaller adjacency list; has_edge already confirmed existence.
+  const VertexId base = degree(u) <= degree(v) ? u : v;
+  const VertexId other = base == u ? v : u;
+  for (const auto& arc : adj_[base])
+    if (arc.to == other) return arc.edge;
+  FTSPAN_ASSERT(false, "edge key present but arc missing");
+}
+
+const Edge& Graph::edge(EdgeId id) const {
+  FTSPAN_REQUIRE(id < m(), "edge id out of range");
+  return edges_[id];
+}
+
+std::span<const Arc> Graph::neighbors(VertexId v) const {
+  FTSPAN_REQUIRE(v < n(), "vertex id out of range");
+  return adj_[v];
+}
+
+std::size_t Graph::degree(VertexId v) const {
+  FTSPAN_REQUIRE(v < n(), "vertex id out of range");
+  return adj_[v].size();
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& list : adj_) best = std::max(best, list.size());
+  return best;
+}
+
+Weight Graph::total_weight() const noexcept {
+  Weight total = 0.0;
+  for (const auto& e : edges_) total += e.w;
+  return total;
+}
+
+void Graph::reserve_edges(std::size_t m) {
+  edges_.reserve(m);
+  edge_keys_.reserve(m * 2);
+}
+
+std::string Graph::summary() const {
+  return "n=" + std::to_string(n()) + " m=" + std::to_string(m()) +
+         (weighted_ ? " weighted" : " unweighted");
+}
+
+}  // namespace ftspan

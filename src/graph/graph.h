@@ -1,0 +1,89 @@
+// Undirected simple graph with adjacency lists.
+//
+// The vertex set is fixed at construction; edges can be appended, which is
+// exactly the mutation pattern of every spanner algorithm in this library
+// (they grow a subgraph H of a fixed G edge by edge).  Simplicity rules:
+// no self-loops, no parallel edges (add_edge enforces both).
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ftspan {
+
+/// Undirected simple graph; optionally weighted.
+///
+/// Invariants: ids are dense (vertices 0..n-1, edges 0..m-1 in insertion
+/// order), every edge appears once in `edges()` and twice in the adjacency
+/// structure, and unweighted graphs hold weight 1.0 on every edge.
+class Graph {
+ public:
+  /// Creates an empty (no-vertex) unweighted graph.
+  Graph() = default;
+
+  /// Creates `n` isolated vertices.  `weighted` fixes whether add_edge
+  /// accepts weights other than 1.
+  explicit Graph(std::size_t n, bool weighted = false);
+
+  /// Builds a graph from an edge list.  Throws on loops/duplicates/range.
+  static Graph from_edges(std::size_t n, std::span<const Edge> edges,
+                          bool weighted = false);
+
+  [[nodiscard]] std::size_t n() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t m() const noexcept { return edges_.size(); }
+  [[nodiscard]] bool weighted() const noexcept { return weighted_; }
+
+  /// Appends edge {u,v} with weight w and returns its id.
+  /// Throws if u==v, an endpoint is out of range, {u,v} already exists, the
+  /// weight is negative/non-finite, or w != 1 on an unweighted graph.
+  EdgeId add_edge(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// add_edge, but returns the existing id (ignoring w) when {u,v} is
+  /// already present.  Used to build unions of subgraphs.
+  EdgeId ensure_edge(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// True if the edge {u,v} exists (order-insensitive).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Id of edge {u,v}, if present.
+  [[nodiscard]] std::optional<EdgeId> find_edge(VertexId u, VertexId v) const;
+
+  /// The edge with the given id.
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  /// All edges in insertion order.
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Arcs leaving `v` (one per incident edge), in insertion order.
+  [[nodiscard]] std::span<const Arc> neighbors(VertexId v) const;
+
+  [[nodiscard]] std::size_t degree(VertexId v) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// Sum of all edge weights.
+  [[nodiscard]] Weight total_weight() const noexcept;
+
+  /// Reserves storage for `m` edges.
+  void reserve_edges(std::size_t m);
+
+  /// "n=.. m=.. (un)weighted" — for logs and test failure messages.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  static std::uint64_t key(VertexId u, VertexId v) noexcept;
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<Edge> edges_;
+  std::unordered_set<std::uint64_t> edge_keys_;
+  bool weighted_ = false;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,72 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftspan {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "ftspan " << g.n() << ' ' << g.m() << ' '
+     << (g.weighted() ? "weighted" : "unweighted") << '\n';
+  os.precision(17);
+  for (const auto& e : g.edges()) {
+    os << e.u << ' ' << e.v;
+    if (g.weighted()) os << ' ' << e.w;
+    os << '\n';
+  }
+}
+
+namespace {
+
+std::string next_content_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    return line;
+  }
+  throw std::invalid_argument("ftspan edge list: unexpected end of input");
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& is) {
+  std::istringstream header(next_content_line(is));
+  std::string magic, mode;
+  std::size_t n = 0, m = 0;
+  if (!(header >> magic >> n >> m >> mode) || magic != "ftspan" ||
+      (mode != "weighted" && mode != "unweighted"))
+    throw std::invalid_argument("ftspan edge list: bad header");
+
+  const bool weighted = mode == "weighted";
+  Graph g(n, weighted);
+  g.reserve_edges(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::istringstream row(next_content_line(is));
+    VertexId u = 0, v = 0;
+    Weight w = 1.0;
+    if (!(row >> u >> v) || (weighted && !(row >> w)))
+      throw std::invalid_argument("ftspan edge list: bad edge on line " +
+                                  std::to_string(i + 2));
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_edge_list(os, g);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace ftspan

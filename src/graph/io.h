@@ -1,0 +1,29 @@
+// Plain-text edge-list serialization.
+//
+// Format:
+//   ftspan <n> <m> <weighted|unweighted>
+//   <u> <v> [<w>]     (m lines; w present iff weighted)
+// Lines starting with '#' are comments and are ignored on input.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ftspan {
+
+/// Writes `g` in the ftspan edge-list format.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses a graph in the ftspan edge-list format; throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// Convenience file wrappers; throw std::runtime_error when the file cannot
+/// be opened.
+void save_graph(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_graph(const std::string& path);
+
+}  // namespace ftspan

@@ -1,0 +1,185 @@
+#include "graph/search.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+FaultView make_fault_view(const Mask* vertices, const Mask* edges) {
+  FaultView fv;
+  if (vertices != nullptr) fv.failed_vertices = vertices->bytes();
+  if (edges != nullptr) fv.failed_edges = edges->bytes();
+  return fv;
+}
+
+// ---------------------------------------------------------------- BfsRunner
+
+BfsRunner::BfsRunner(std::size_t n) { ensure(n); }
+
+void BfsRunner::ensure(std::size_t n) {
+  if (n > dist_.size()) {
+    dist_.resize(n);
+    parent_.resize(n);
+    stamp_.resize(n, 0);
+  }
+}
+
+void BfsRunner::begin_epoch() {
+  ++epoch_;
+  if (epoch_ == 0) {  // wrapped: invalidate all stamps
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  queue_.clear();
+}
+
+std::uint32_t BfsRunner::run(const Graph& g, VertexId s, VertexId t,
+                             const FaultView& faults, std::uint32_t max_hops) {
+  FTSPAN_REQUIRE(s < g.n() && (t == kInvalidVertex || t < g.n()),
+                 "search endpoint out of range");
+  ensure(g.n());
+  begin_epoch();
+  if (!faults.vertex_alive(s)) return kUnreachableHops;
+  if (t != kInvalidVertex && !faults.vertex_alive(t)) return kUnreachableHops;
+
+  dist_[s] = 0;
+  parent_[s] = kInvalidVertex;
+  stamp_[s] = epoch_;
+  queue_.push_back(s);
+
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const VertexId u = queue_[head];
+    const std::uint32_t du = dist_[u];
+    if (u == t) return du;
+    if (du >= max_hops) continue;  // deeper vertices would exceed the limit
+    for (const auto& arc : g.neighbors(u)) {
+      if (stamp_[arc.to] == epoch_) continue;
+      if (!faults.edge_alive(arc.edge) || !faults.vertex_alive(arc.to)) continue;
+      stamp_[arc.to] = epoch_;
+      dist_[arc.to] = du + 1;
+      parent_[arc.to] = u;
+      queue_.push_back(arc.to);
+    }
+  }
+  if (t == kInvalidVertex) return kUnreachableHops;
+  return stamp_[t] == epoch_ ? dist_[t] : kUnreachableHops;
+}
+
+std::uint32_t BfsRunner::hop_distance(const Graph& g, VertexId s, VertexId t,
+                                      const FaultView& faults,
+                                      std::uint32_t max_hops) {
+  const std::uint32_t d = run(g, s, t, faults, max_hops);
+  return d <= max_hops ? d : kUnreachableHops;
+}
+
+bool BfsRunner::shortest_path(const Graph& g, VertexId s, VertexId t,
+                              std::vector<VertexId>& out, const FaultView& faults,
+                              std::uint32_t max_hops) {
+  const std::uint32_t d = run(g, s, t, faults, max_hops);
+  if (d > max_hops || d == kUnreachableHops) return false;
+  out.clear();
+  for (VertexId v = t; v != kInvalidVertex; v = parent_[v]) out.push_back(v);
+  std::reverse(out.begin(), out.end());
+  FTSPAN_ASSERT(out.front() == s && out.back() == t, "path endpoints mismatch");
+  return true;
+}
+
+void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>& out,
+                         const FaultView& faults, std::uint32_t max_hops) {
+  run(g, s, kInvalidVertex, faults, max_hops);
+  out.assign(g.n(), kUnreachableHops);
+  for (VertexId v = 0; v < g.n(); ++v)
+    if (stamp_[v] == epoch_ && dist_[v] <= max_hops) out[v] = dist_[v];
+}
+
+// ----------------------------------------------------------- DijkstraRunner
+
+DijkstraRunner::DijkstraRunner(std::size_t n) { ensure(n); }
+
+void DijkstraRunner::ensure(std::size_t n) {
+  if (n > dist_.size()) {
+    dist_.resize(n);
+    parent_.resize(n);
+    stamp_.resize(n, 0);
+    settled_.resize(n);
+  }
+}
+
+void DijkstraRunner::begin_epoch() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+Weight DijkstraRunner::run(const Graph& g, VertexId s, VertexId t,
+                           const FaultView& faults, Weight budget) {
+  FTSPAN_REQUIRE(s < g.n() && (t == kInvalidVertex || t < g.n()),
+                 "search endpoint out of range");
+  ensure(g.n());
+  begin_epoch();
+  if (!faults.vertex_alive(s)) return kUnreachableWeight;
+  if (t != kInvalidVertex && !faults.vertex_alive(t)) return kUnreachableWeight;
+
+  using Item = std::pair<Weight, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist_[s] = 0.0;
+  parent_[s] = kInvalidVertex;
+  stamp_[s] = epoch_;
+  settled_[s] = 0;
+  heap.emplace(0.0, s);
+
+  while (!heap.empty()) {
+    const auto [du, u] = heap.top();
+    heap.pop();
+    if (stamp_[u] != epoch_ || settled_[u] != 0 || du > dist_[u]) continue;
+    settled_[u] = 1;
+    if (du > budget) break;
+    if (u == t) return du;
+    for (const auto& arc : g.neighbors(u)) {
+      if (!faults.edge_alive(arc.edge) || !faults.vertex_alive(arc.to)) continue;
+      const Weight cand = du + arc.w;
+      if (cand > budget) continue;
+      if (stamp_[arc.to] != epoch_ || cand < dist_[arc.to]) {
+        stamp_[arc.to] = epoch_;
+        settled_[arc.to] = 0;
+        dist_[arc.to] = cand;
+        parent_[arc.to] = u;
+        heap.emplace(cand, arc.to);
+      }
+    }
+  }
+  if (t == kInvalidVertex) return kUnreachableWeight;
+  return (stamp_[t] == epoch_ && settled_[t] != 0) ? dist_[t] : kUnreachableWeight;
+}
+
+Weight DijkstraRunner::distance(const Graph& g, VertexId s, VertexId t,
+                                const FaultView& faults, Weight budget) {
+  return run(g, s, t, faults, budget);
+}
+
+bool DijkstraRunner::shortest_path(const Graph& g, VertexId s, VertexId t,
+                                   std::vector<VertexId>& out,
+                                   const FaultView& faults, Weight budget) {
+  if (run(g, s, t, faults, budget) == kUnreachableWeight) return false;
+  out.clear();
+  for (VertexId v = t; v != kInvalidVertex; v = parent_[v]) out.push_back(v);
+  std::reverse(out.begin(), out.end());
+  FTSPAN_ASSERT(out.front() == s && out.back() == t, "path endpoints mismatch");
+  return true;
+}
+
+void DijkstraRunner::all_distances(const Graph& g, VertexId s,
+                                   std::vector<Weight>& out,
+                                   const FaultView& faults, Weight budget) {
+  run(g, s, kInvalidVertex, faults, budget);
+  out.assign(g.n(), kUnreachableWeight);
+  for (VertexId v = 0; v < g.n(); ++v)
+    if (stamp_[v] == epoch_ && settled_[v] != 0 && dist_[v] <= budget)
+      out[v] = dist_[v];
+}
+
+}  // namespace ftspan

@@ -1,0 +1,114 @@
+// Shortest-path engines with fault masking.
+//
+// Both runners keep epoch-stamped per-vertex arrays, so repeated queries on
+// graphs with the same vertex count cost no O(n) re-initialization — the
+// greedy spanner algorithms issue Θ(m·f) of these queries on a growing
+// subgraph H, which makes this the hottest code in the library.
+//
+// A runner is bound to a vertex-universe size, not to a particular graph:
+// the same runner may serve G and any subgraph H of G.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/fault_mask.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ftspan {
+
+/// Non-owning view describing which vertices/edges are currently failed.
+/// Empty spans mean "nothing failed"; an edge id beyond the span is alive
+/// (the spanner H grows between queries, masks need not be resized).
+struct FaultView {
+  std::span<const std::uint8_t> failed_vertices = {};
+  std::span<const std::uint8_t> failed_edges = {};
+
+  [[nodiscard]] bool vertex_alive(VertexId v) const noexcept {
+    return v >= failed_vertices.size() || failed_vertices[v] == 0;
+  }
+  [[nodiscard]] bool edge_alive(EdgeId e) const noexcept {
+    return e >= failed_edges.size() || failed_edges[e] == 0;
+  }
+};
+
+/// Builds a FaultView over a Mask / ScratchMask pair (either may be null).
+[[nodiscard]] FaultView make_fault_view(const Mask* vertices, const Mask* edges);
+
+/// Breadth-first search: hop (edge-count) distances, ignoring weights.
+class BfsRunner {
+ public:
+  /// Prepares buffers for graphs with up to `n` vertices (grows on demand).
+  explicit BfsRunner(std::size_t n = 0);
+
+  /// Fewest-hop distance from s to t in g under `faults`, exploring at most
+  /// `max_hops` hops.  Returns kUnreachableHops when no such path exists
+  /// (including when s or t is failed).  s == t yields 0.
+  std::uint32_t hop_distance(const Graph& g, VertexId s, VertexId t,
+                             const FaultView& faults = {},
+                             std::uint32_t max_hops = kUnreachableHops);
+
+  /// Extracts a fewest-hop s-t path (vertex sequence s, ..., t) into `out`.
+  /// Returns false (out untouched) when t is unreachable within `max_hops`.
+  bool shortest_path(const Graph& g, VertexId s, VertexId t,
+                     std::vector<VertexId>& out, const FaultView& faults = {},
+                     std::uint32_t max_hops = kUnreachableHops);
+
+  /// Hop distances from s to every vertex (kUnreachableHops when
+  /// unreachable), written into `out` (resized to g.n()).
+  void all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>& out,
+                const FaultView& faults = {},
+                std::uint32_t max_hops = kUnreachableHops);
+
+ private:
+  /// Runs BFS from s; stops early once t is settled.  Returns dist(t).
+  std::uint32_t run(const Graph& g, VertexId s, VertexId t,
+                    const FaultView& faults, std::uint32_t max_hops);
+  void ensure(std::size_t n);
+  void begin_epoch();
+
+  std::vector<std::uint32_t> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<VertexId> queue_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Dijkstra: weighted distances (also correct on unweighted graphs).
+class DijkstraRunner {
+ public:
+  explicit DijkstraRunner(std::size_t n = 0);
+
+  /// Least-weight s-t distance under `faults`; exploration is pruned beyond
+  /// `budget` (distances > budget report kUnreachableWeight).
+  Weight distance(const Graph& g, VertexId s, VertexId t,
+                  const FaultView& faults = {},
+                  Weight budget = kUnreachableWeight);
+
+  /// Extracts a least-weight s-t path into `out`; false when unreachable
+  /// within `budget`.
+  bool shortest_path(const Graph& g, VertexId s, VertexId t,
+                     std::vector<VertexId>& out, const FaultView& faults = {},
+                     Weight budget = kUnreachableWeight);
+
+  /// Distances from s to all vertices into `out` (resized to g.n()).
+  void all_distances(const Graph& g, VertexId s, std::vector<Weight>& out,
+                     const FaultView& faults = {},
+                     Weight budget = kUnreachableWeight);
+
+ private:
+  Weight run(const Graph& g, VertexId s, VertexId t, const FaultView& faults,
+             Weight budget);
+  void ensure(std::size_t n);
+  void begin_epoch();
+
+  std::vector<Weight> dist_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint8_t> settled_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,48 @@
+// Subgraph construction and connectivity helpers.
+//
+// Vertex-fault removal is id-preserving: the vertex set stays 0..n-1 and only
+// incident edges disappear, so distances and masks computed on G, H, and
+// G \ F all speak the same vertex language (the paper's G[V \ F] on the
+// surviving vertices induces exactly the same pairwise distances).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/fault_mask.h"
+#include "graph/graph.h"
+#include "graph/search.h"
+#include "graph/types.h"
+
+namespace ftspan {
+
+/// Induced subgraph on `verts` with vertices renumbered 0..verts.size()-1 in
+/// the given order.  When not null, *original receives the reverse mapping
+/// (local id -> id in g).  Duplicate entries in `verts` are rejected.
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     std::span<const VertexId> verts,
+                                     std::vector<VertexId>* original = nullptr);
+
+/// Copy of g without the faulted elements (id-preserving; failed vertices
+/// become isolated).  Fault ids must be in range.
+[[nodiscard]] Graph remove_fault_set(const Graph& g, const FaultSet& faults);
+
+/// Subgraph of g on the same vertex set containing exactly `edge_ids`.
+[[nodiscard]] Graph edge_subgraph(const Graph& g, std::span<const EdgeId> edge_ids);
+
+/// Component label (0-based, BFS order) for every vertex; vertices failed in
+/// `faults` get label kInvalidVertex.  Returns the number of components
+/// among surviving vertices via *count when not null.
+[[nodiscard]] std::vector<VertexId> connected_components(
+    const Graph& g, std::size_t* count = nullptr, const FaultView& faults = {});
+
+/// True when all surviving vertices lie in one component (an empty survivor
+/// set counts as connected).
+[[nodiscard]] bool is_connected(const Graph& g, const FaultView& faults = {});
+
+/// Builds the FaultSet's mask form: a vertex mask over g.n() or an edge mask
+/// over g.m() depending on the model.
+[[nodiscard]] Mask fault_mask(const Graph& g, const FaultSet& faults);
+
+}  // namespace ftspan

@@ -1,0 +1,64 @@
+// Foundational vocabulary types shared by every ftspan module.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ftspan {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using Weight = double;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Hop count reported for unreachable targets.
+inline constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Weighted distance reported for unreachable targets.
+inline constexpr Weight kUnreachableWeight =
+    std::numeric_limits<Weight>::infinity();
+
+/// An undirected edge {u, v} with weight w (w == 1 in unweighted graphs).
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  Weight w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One adjacency entry: the neighbor, the id of the connecting edge, and the
+/// edge weight (duplicated here so traversals touch one cache line).
+struct Arc {
+  VertexId to = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+  Weight w = 1.0;
+};
+
+/// Which failure model a fault-tolerant construction protects against
+/// (Definition 1 in the paper).
+enum class FaultModel : std::uint8_t {
+  vertex,  ///< f-VFT: any set of at most f vertices may fail.
+  edge,    ///< f-EFT: any set of at most f edges may fail.
+};
+
+/// A concrete fault set: vertex ids or edge ids depending on `model`.
+struct FaultSet {
+  FaultModel model = FaultModel::vertex;
+  std::vector<std::uint32_t> ids;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids.empty(); }
+};
+
+/// Printable name of a fault model ("vertex" / "edge").
+[[nodiscard]] constexpr const char* to_string(FaultModel model) noexcept {
+  return model == FaultModel::vertex ? "vertex" : "edge";
+}
+
+}  // namespace ftspan

@@ -1,0 +1,45 @@
+#include "spanner/add93_greedy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/search.h"
+#include "util/check.h"
+
+namespace ftspan {
+
+Graph add93_greedy_spanner(const Graph& g, std::uint32_t k) {
+  FTSPAN_REQUIRE(k >= 1, "spanner requires k >= 1");
+  std::vector<EdgeId> order(g.m());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).w < g.edge(b).w;
+  });
+
+  Graph h(g.n(), g.weighted());
+  const auto t = static_cast<Weight>(2 * k - 1);
+  if (g.weighted()) {
+    DijkstraRunner dijkstra(g.n());
+    for (const auto id : order) {
+      const auto& e = g.edge(id);
+      if (dijkstra.distance(h, e.u, e.v, {}, t * e.w) == kUnreachableWeight)
+        h.add_edge(e.u, e.v, e.w);
+    }
+  } else {
+    BfsRunner bfs(g.n());
+    for (const auto id : order) {
+      const auto& e = g.edge(id);
+      if (bfs.hop_distance(h, e.u, e.v, {}, 2 * k - 1) == kUnreachableHops)
+        h.add_edge(e.u, e.v, e.w);
+    }
+  }
+  return h;
+}
+
+double add93_size_bound(std::size_t n, std::uint32_t k) noexcept {
+  const double nn = static_cast<double>(n);
+  return std::pow(nn, 1.0 + 1.0 / k) + nn;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,23 @@
+// The classic greedy (2k-1)-spanner of Althofer, Das, Dobkin, Joseph, and
+// Soares [ADD+93]: scan edges by nondecreasing weight; keep {u,v} iff
+// d_H(u,v) > (2k-1) * w(u,v).  Size O(n^{1+1/k}) on any weighted graph —
+// the non-fault-tolerant baseline (and the f = 0 special case of the
+// paper's algorithms).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ftspan {
+
+/// Builds the greedy (2k-1)-spanner of g.  Requires k >= 1.
+[[nodiscard]] Graph add93_greedy_spanner(const Graph& g, std::uint32_t k);
+
+/// The girth-based size bound the greedy satisfies: n^{1+1/k} + n
+/// (no hidden constant; a graph of girth > 2k has fewer than
+/// n^{1+1/k} + n edges).
+[[nodiscard]] double add93_size_bound(std::size_t n, std::uint32_t k) noexcept;
+
+}  // namespace ftspan

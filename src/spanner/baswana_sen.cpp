@@ -1,0 +1,153 @@
+#include "spanner/baswana_sen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+namespace {
+
+/// Per-vertex bucketing scratch: for the vertex being processed, the
+/// lightest alive edge toward each adjacent cluster (epoch-stamped).
+struct ClusterBuckets {
+  explicit ClusterBuckets(std::size_t n)
+      : stamp(n, 0), light_w(n, 0.0), light_e(n, kInvalidEdge) {}
+
+  void begin() {
+    ++epoch;
+    adjacent.clear();
+  }
+
+  void offer(VertexId cluster, Weight w, EdgeId e) {
+    if (stamp[cluster] != epoch) {
+      stamp[cluster] = epoch;
+      light_w[cluster] = w;
+      light_e[cluster] = e;
+      adjacent.push_back(cluster);
+    } else if (w < light_w[cluster]) {
+      light_w[cluster] = w;
+      light_e[cluster] = e;
+    }
+  }
+
+  std::vector<std::uint32_t> stamp;
+  std::vector<Weight> light_w;
+  std::vector<EdgeId> light_e;
+  std::vector<VertexId> adjacent;  // clusters seen this epoch
+  std::uint32_t epoch = 0;
+};
+
+}  // namespace
+
+Graph baswana_sen_spanner(const Graph& g, std::uint32_t k, Rng& rng) {
+  FTSPAN_REQUIRE(k >= 1, "spanner requires k >= 1");
+  const std::size_t n = g.n();
+  Graph h(n, g.weighted());
+  if (n == 0) return h;
+
+  // cluster[v]: id (= center vertex) of v's cluster, or kInvalidVertex once
+  // v has dropped out.  Initially every vertex is its own singleton cluster.
+  std::vector<VertexId> cluster(n);
+  for (VertexId v = 0; v < n; ++v) cluster[v] = v;
+
+  std::vector<std::uint8_t> edge_alive(g.m(), 1);
+  ClusterBuckets buckets(n);
+  const double p = std::pow(static_cast<double>(n), -1.0 / k);
+
+  auto add_to_spanner = [&](EdgeId id) {
+    const auto& e = g.edge(id);
+    h.ensure_edge(e.u, e.v, e.w);
+  };
+
+  // Kills every alive v-edge whose other endpoint lies in `target_cluster`.
+  auto delete_edges_to = [&](VertexId v, VertexId target_cluster) {
+    for (const auto& arc : g.neighbors(v)) {
+      if (edge_alive[arc.edge] != 0 && cluster[arc.to] == target_cluster)
+        edge_alive[arc.edge] = 0;
+    }
+  };
+
+  // ---------------------------------------------------------- Phase 1
+  for (std::uint32_t iter = 1; iter < k; ++iter) {
+    // Sample the surviving clusters independently with probability p.
+    std::vector<std::uint8_t> is_center(n, 0);
+    for (VertexId v = 0; v < n; ++v)
+      if (cluster[v] != kInvalidVertex) is_center[cluster[v]] = 1;
+    std::vector<std::uint8_t> sampled(n, 0);
+    for (VertexId c = 0; c < n; ++c)
+      if (is_center[c] != 0 && rng.next_bool(p)) sampled[c] = 1;
+
+    std::vector<VertexId> next_cluster = cluster;
+    for (VertexId v = 0; v < n; ++v) {
+      if (cluster[v] == kInvalidVertex) continue;       // already dropped out
+      if (sampled[cluster[v]] != 0) continue;           // cluster survives
+
+      // Bucket alive incident edges by the neighbor's current cluster.
+      buckets.begin();
+      for (const auto& arc : g.neighbors(v)) {
+        if (edge_alive[arc.edge] == 0) continue;
+        const VertexId cu = cluster[arc.to];
+        FTSPAN_ASSERT(cu != kInvalidVertex, "alive edge into a dropped vertex");
+        if (cu == cluster[v]) {
+          edge_alive[arc.edge] = 0;  // intra-cluster edges are never needed
+          continue;
+        }
+        buckets.offer(cu, arc.w, arc.edge);
+      }
+
+      // Lightest edge into a *sampled* adjacent cluster, if any.
+      VertexId best_cluster = kInvalidVertex;
+      for (const auto c : buckets.adjacent) {
+        if (sampled[c] == 0) continue;
+        if (best_cluster == kInvalidVertex ||
+            buckets.light_w[c] < buckets.light_w[best_cluster])
+          best_cluster = c;
+      }
+
+      if (best_cluster == kInvalidVertex) {
+        // Not adjacent to any sampled cluster: connect to every adjacent
+        // cluster with its lightest edge, then drop out.
+        for (const auto c : buckets.adjacent) {
+          add_to_spanner(buckets.light_e[c]);
+          delete_edges_to(v, c);
+        }
+        next_cluster[v] = kInvalidVertex;
+      } else {
+        // Join the lightest sampled cluster; also connect to every strictly
+        // lighter cluster (and discard the corresponding edge bundles).
+        const Weight w_star = buckets.light_w[best_cluster];
+        add_to_spanner(buckets.light_e[best_cluster]);
+        next_cluster[v] = best_cluster;
+        delete_edges_to(v, best_cluster);
+        for (const auto c : buckets.adjacent) {
+          if (c == best_cluster) continue;
+          if (buckets.light_w[c] < w_star) {
+            add_to_spanner(buckets.light_e[c]);
+            delete_edges_to(v, c);
+          }
+        }
+      }
+    }
+    cluster = std::move(next_cluster);
+  }
+
+  // ---------------------------------------------------------- Phase 2
+  // Every surviving vertex connects to each adjacent cluster once.
+  for (VertexId v = 0; v < n; ++v) {
+    if (cluster[v] == kInvalidVertex) continue;
+    buckets.begin();
+    for (const auto& arc : g.neighbors(v)) {
+      if (edge_alive[arc.edge] == 0) continue;
+      const VertexId cu = cluster[arc.to];
+      FTSPAN_ASSERT(cu != kInvalidVertex, "alive edge into a dropped vertex");
+      if (cu == cluster[v]) continue;
+      buckets.offer(cu, arc.w, arc.edge);
+    }
+    for (const auto c : buckets.adjacent) add_to_spanner(buckets.light_e[c]);
+  }
+  return h;
+}
+
+}  // namespace ftspan

@@ -1,0 +1,23 @@
+// The randomized (2k-1)-spanner of Baswana and Sen [BS07].
+//
+// k-1 clustering iterations followed by a vertex-cluster joining phase.
+// Expected size O(k * n^{1+1/k}), works on weighted graphs, O(k*m) expected
+// time, and — crucially for Theorem 15 — implementable in O(k^2) CONGEST
+// rounds (see distrib/congest_bs.h for the distributed version; this file is
+// the centralized one, used as the inner algorithm of the DK11 framework).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+
+/// Builds a (2k-1)-spanner of g with expected O(k n^{1+1/k}) edges.
+/// Requires k >= 1 (k == 1 returns a copy of g, the only 1-spanner).
+[[nodiscard]] Graph baswana_sen_spanner(const Graph& g, std::uint32_t k,
+                                        Rng& rng);
+
+}  // namespace ftspan

@@ -1,0 +1,47 @@
+// The fault-tolerant spanner framework of Dinitz and Krauthgamer [DK11].
+//
+// O(f^3 log n) iterations; in each, every vertex participates independently
+// with probability 1/f, and a non-fault-tolerant (2k-1)-spanner algorithm A
+// runs on the induced subgraph.  The union of all iterations is an f-VFT
+// (2k-1)-spanner whp with O(f^3 * g(2n/f) * log n) edges (Theorem 13), i.e.
+// O(f^{2-1/k} n^{1+1/k} log n) when A meets the n^{1+1/k} bound.  This is
+// the pre-[BDPW18] state of the art the paper's greedy is compared against
+// (experiment E13) and the engine of the CONGEST construction (Theorem 15).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/options.h"
+#include "core/result.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+
+/// Knobs for the DK11 construction.
+struct Dk11Config {
+  /// J = ceil(iteration_factor * f^3 * ln n) iterations.  The paper's "whp"
+  /// constant is absorbed here; 1.0 suffices in practice for the sizes we
+  /// benchmark, larger values buy confidence.
+  double iteration_factor = 1.0;
+  /// Inner non-fault-tolerant spanner algorithm A.
+  enum class Inner : std::uint8_t {
+    baswana_sen,  ///< expected O(k n^{1+1/k}) edges, O(km) time
+    add93,        ///< O(n^{1+1/k}) edges, slower
+  } inner = Inner::baswana_sen;
+};
+
+/// Computes the number of iterations J for given f, n.
+[[nodiscard]] std::uint32_t dk11_iterations(std::size_t n, std::uint32_t f,
+                                            double iteration_factor);
+
+/// Builds an f-VFT (2k-1)-spanner via [DK11].  Requires f >= 1 and
+/// params.model == FaultModel::vertex (the framework as described by the
+/// paper samples vertices).  SpannerBuild::picked holds g-edge ids;
+/// stats.oracle_calls counts iterations.
+[[nodiscard]] SpannerBuild dk11_spanner(const Graph& g,
+                                        const SpannerParams& params, Rng& rng,
+                                        const Dk11Config& config = {});
+
+}  // namespace ftspan

@@ -1,0 +1,45 @@
+// Precondition / invariant checking macros.
+//
+// FTSPAN_REQUIRE is the contract check for public API preconditions: it is
+// always on and throws std::invalid_argument, so callers can rely on precise
+// diagnostics regardless of build type.  FTSPAN_ASSERT is the internal
+// invariant check: it aborts with a message and is intended for conditions
+// that indicate a bug in this library rather than misuse by the caller.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftspan::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "ftspan assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+[[noreturn]] inline void require_fail(const char* expr, const std::string& msg) {
+  std::ostringstream os;
+  os << "ftspan precondition violated: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace ftspan::detail
+
+// Precondition check on public entry points; always enabled, throws.
+#define FTSPAN_REQUIRE(cond, msg)                               \
+  do {                                                          \
+    if (!(cond)) ::ftspan::detail::require_fail(#cond, (msg));  \
+  } while (false)
+
+// Internal invariant check; always enabled (cheap conditions only), aborts.
+#define FTSPAN_ASSERT(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) ::ftspan::detail::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

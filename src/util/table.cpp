@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace ftspan {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FTSPAN_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  FTSPAN_REQUIRE(cells.size() == headers_.size(),
+                 "row width must match the header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  emit(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << (c == 0 ? "|" : "|");
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::num(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+std::string Table::num(std::size_t value) { return std::to_string(value); }
+
+}  // namespace ftspan

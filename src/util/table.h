@@ -1,0 +1,43 @@
+// Console table printer used by the benchmark harness.
+//
+// Benches print paper-style tables: a header row, aligned columns, and a
+// caption.  Cells are formatted up front (std::string), so the printer has a
+// single trivial job: measure column widths and emit aligned rows.
+
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftspan {
+
+/// Accumulates rows of string cells and prints them as an aligned table.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string num(double value, int digits = 2);
+
+  /// Formats an integer.
+  static std::string num(long long value);
+  static std::string num(std::size_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftspan

@@ -1,0 +1,30 @@
+// Wall-clock timer for benchmarks and instrumentation.
+
+#pragma once
+
+#include <chrono>
+
+namespace ftspan {
+
+/// Monotonic wall-clock stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ftspan

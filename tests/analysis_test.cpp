@@ -1,0 +1,234 @@
+// Tests for src/analysis: girth, short-cycle enumeration, blocking sets
+// (Lemma 6), the Lemma 7 sampling experiment, and power-law fits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/blocking_set.h"
+#include "analysis/girth.h"
+#include "analysis/scaling.h"
+#include "core/modified_greedy.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+using analysis::BlockingPair;
+
+TEST(Girth, KnownGraphs) {
+  EXPECT_EQ(girth(complete_graph(4)), 3u);
+  EXPECT_EQ(girth(cycle_graph(7)), 7u);
+  EXPECT_EQ(girth(petersen_graph()), 5u);
+  EXPECT_EQ(girth(grid_graph(3, 3)), 4u);
+  EXPECT_EQ(girth(hypercube_graph(3)), 4u);
+}
+
+TEST(Girth, ForestsAreAcyclic) {
+  EXPECT_EQ(girth(path_graph(6)), kInfiniteGirth);
+  EXPECT_EQ(girth(star_graph(5)), kInfiniteGirth);
+  EXPECT_EQ(girth(Graph(4)), kInfiniteGirth);
+}
+
+TEST(Girth, GirthExceeds) {
+  const Graph g = cycle_graph(9);
+  EXPECT_TRUE(girth_exceeds(g, 8));
+  EXPECT_FALSE(girth_exceeds(g, 9));
+  EXPECT_TRUE(girth_exceeds(path_graph(5), 1000000));
+}
+
+TEST(Girth, TwoDisjointCyclesTakesTheShorter) {
+  Graph g(9);
+  for (VertexId v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);        // C5
+  for (VertexId v = 5; v < 9; ++v) g.add_edge(v, v == 8 ? 5 : v + 1);  // C4
+  EXPECT_EQ(girth(g), 4u);
+}
+
+TEST(Girth, RandomGraphsAgreeWithCycleEnumeration) {
+  Rng rng(130);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gnp(14, 0.25, rng);
+    std::uint32_t shortest = kInfiniteGirth;
+    analysis::for_each_short_cycle(g, 14,
+                                   [&](std::span<const VertexId> cycle) {
+                                     shortest = std::min(
+                                         shortest,
+                                         static_cast<std::uint32_t>(cycle.size()));
+                                     return true;
+                                   });
+    EXPECT_EQ(girth(g), shortest) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------ enumeration
+
+TEST(CycleEnumeration, TriangleCountOfK4) {
+  int cycles3 = 0, cycles_all = 0;
+  analysis::for_each_short_cycle(complete_graph(4), 3,
+                                 [&](std::span<const VertexId> c) {
+                                   EXPECT_EQ(c.size(), 3u);
+                                   ++cycles3;
+                                   return true;
+                                 });
+  EXPECT_EQ(cycles3, 4);  // C(4,3) triangles
+  analysis::for_each_short_cycle(complete_graph(4), 4,
+                                 [&](std::span<const VertexId>) {
+                                   ++cycles_all;
+                                   return true;
+                                 });
+  EXPECT_EQ(cycles_all, 4 + 3);  // 4 triangles + 3 four-cycles = 7 total
+}
+
+TEST(CycleEnumeration, ReportsEachCycleOnce) {
+  int count = 0;
+  analysis::for_each_short_cycle(cycle_graph(6), 6,
+                                 [&](std::span<const VertexId> c) {
+                                   EXPECT_EQ(c.size(), 6u);
+                                   ++count;
+                                   return true;
+                                 });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(CycleEnumeration, EarlyStopWorks) {
+  int count = 0;
+  analysis::for_each_short_cycle(complete_graph(5), 5,
+                                 [&](std::span<const VertexId>) {
+                                   ++count;
+                                   return count < 3;
+                                 });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(CycleEnumeration, RespectsLengthCap) {
+  analysis::for_each_short_cycle(cycle_graph(8), 7,
+                                 [&](std::span<const VertexId>) {
+                                   ADD_FAILURE() << "C8 has no cycle <= 7";
+                                   return true;
+                                 });
+}
+
+// ----------------------------------------------------------- blocking set
+
+TEST(BlockingSet, Lemma6CertificatesBlockAllShortCycles) {
+  // Theorem: the modified greedy's certificates form a (2k)-blocking set.
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = testing::connected_gnp(14, 0.35, 1400 + trial);
+    const SpannerParams params{.k = 2, .f = 1};
+    ModifiedGreedyConfig config;
+    config.record_certificates = true;
+    const auto build = modified_greedy_spanner(g, params, config);
+    const auto blocking = analysis::blocking_set_from_build(build);
+    // Lemma 6 size bound: |B| <= (2k-1) f |E(H)|.
+    EXPECT_LE(blocking.size(), 3u * build.spanner.m());
+    const auto unblocked =
+        analysis::find_unblocked_cycle(build.spanner, blocking, 2 * params.k);
+    EXPECT_FALSE(unblocked.has_value())
+        << "trial " << trial << ": a 2k-cycle escaped the blocking set";
+  }
+}
+
+TEST(BlockingSet, EmptySetFailsOnATriangleGraph) {
+  const Graph h = complete_graph(3);
+  const auto unblocked = analysis::find_unblocked_cycle(h, {}, 4);
+  ASSERT_TRUE(unblocked.has_value());
+  EXPECT_EQ(unblocked->size(), 3u);
+}
+
+TEST(BlockingSet, CoveringPairBlocksItsCycle) {
+  const Graph h = complete_graph(3);  // edges {0,1},{0,2},{1,2}
+  // Pair (2, edge {0,1}): vertex 2 and edge 0 both lie on the triangle.
+  const std::vector<BlockingPair> blocking{{2, 0}};
+  EXPECT_FALSE(analysis::find_unblocked_cycle(h, blocking, 3).has_value());
+}
+
+TEST(BlockingSet, PairOffTheCycleDoesNotBlock) {
+  Graph h(4);
+  h.add_edge(0, 1);
+  h.add_edge(1, 2);
+  h.add_edge(2, 0);
+  h.add_edge(0, 3);  // pendant edge id 3
+  // Vertex 3 is not on the triangle: the pair must not count.
+  const std::vector<BlockingPair> blocking{{3, 0}};
+  EXPECT_TRUE(analysis::find_unblocked_cycle(h, blocking, 3).has_value());
+}
+
+TEST(BlockingSet, BuildWithoutCertificatesIsRejected) {
+  const Graph g = cycle_graph(5);
+  const auto build = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 1});
+  SpannerBuild broken = build;
+  broken.picked.push_back(0);  // force a mismatch
+  EXPECT_THROW((void)analysis::blocking_set_from_build(broken),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Lemma 7
+
+TEST(Lemma7, SampledSubgraphHasHighGirthAndExpectedDensity) {
+  const Graph g = testing::connected_gnp(220, 0.12, 1500);
+  const SpannerParams params{.k = 2, .f = 1};
+  ModifiedGreedyConfig config;
+  config.record_certificates = true;
+  const auto build = modified_greedy_spanner(g, params, config);
+  const auto blocking = analysis::blocking_set_from_build(build);
+  Rng rng(1501);
+  int girth_ok = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto sample =
+        analysis::lemma7_sample(build.spanner, blocking, params.k, params.f, rng);
+    EXPECT_EQ(sample.sampled_nodes,
+              build.spanner.n() / (2 * (2 * params.k - 1) * params.f));
+    EXPECT_LE(sample.edges_kept, sample.edges_sampled);
+    girth_ok += sample.girth_ok;
+  }
+  // The construction in Lemma 7 *always* yields girth > 2k.
+  EXPECT_EQ(girth_ok, 10);
+}
+
+TEST(Lemma7, DegenerateTinyGraph) {
+  const Graph g = cycle_graph(4);
+  Rng rng(1);
+  const auto sample = analysis::lemma7_sample(g, {}, 2, 1, rng);
+  EXPECT_EQ(sample.sampled_nodes, 0u);  // floor(4/6) = 0
+  EXPECT_FALSE(sample.girth_ok);
+}
+
+// ------------------------------------------------------------------- fits
+
+TEST(PowerFit, RecoversExactLaw) {
+  std::vector<double> x, y;
+  for (double v = 10; v <= 1000; v *= 2) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.5));
+  }
+  const auto fit = analysis::fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.log_coeff), 3.0, 1e-6);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(PowerFit, NoisyDataStillClose) {
+  Rng rng(140);
+  std::vector<double> x, y;
+  for (double v = 16; v <= 4096; v *= 2) {
+    x.push_back(v);
+    y.push_back(std::pow(v, 1.2) * (0.9 + 0.2 * rng.next_double()));
+  }
+  const auto fit = analysis::fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 1.2, 0.08);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(PowerFit, RejectsDegenerateInput) {
+  const std::vector<double> x{1.0}, y{2.0};
+  EXPECT_THROW((void)analysis::fit_power_law(x, y), std::invalid_argument);
+  const std::vector<double> x2{1.0, 1.0}, y2{2.0, 3.0};
+  EXPECT_THROW((void)analysis::fit_power_law(x2, y2), std::invalid_argument);
+  const std::vector<double> x3{1.0, 2.0}, y3{-1.0, 3.0};
+  EXPECT_THROW((void)analysis::fit_power_law(x3, y3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,196 @@
+// Tests for src/spanner: ADD+93 greedy, Baswana-Sen, and DK11.
+
+#include <gtest/gtest.h>
+
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "graph/subgraph.h"
+#include "spanner/add93_greedy.h"
+#include "spanner/baswana_sen.h"
+#include "spanner/dk11.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+/// Exact stretch of h wrt g over all vertex pairs (weighted).
+double exact_stretch(const Graph& g, const Graph& h) {
+  DijkstraRunner dg(g.n()), dh(h.n());
+  std::vector<Weight> dist_g, dist_h;
+  double worst = 1.0;
+  for (VertexId u = 0; u < g.n(); ++u) {
+    dg.all_distances(g, u, dist_g);
+    dh.all_distances(h, u, dist_h);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      if (u == v || dist_g[v] == kUnreachableWeight) continue;
+      if (dist_h[v] == kUnreachableWeight)
+        return std::numeric_limits<double>::infinity();
+      if (dist_g[v] > 0) worst = std::max(worst, dist_h[v] / dist_g[v]);
+    }
+  }
+  return worst;
+}
+
+// ----------------------------------------------------------------- ADD+93
+
+TEST(Add93, StretchHoldsExactly) {
+  Rng rng(100);
+  for (const std::uint32_t k : {1u, 2u, 3u}) {
+    const Graph g = gnp(40, 0.2, rng);
+    const Graph h = add93_greedy_spanner(g, k);
+    EXPECT_LE(exact_stretch(g, h), 2.0 * k - 1.0 + 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Add93, WeightedStretchHolds) {
+  Rng rng(101);
+  const Graph g = with_uniform_weights(gnp(30, 0.3, rng), 1.0, 7.0, rng);
+  const Graph h = add93_greedy_spanner(g, 2);
+  EXPECT_LE(exact_stretch(g, h), 3.0 + 1e-9);
+}
+
+TEST(Add93, GirthSizeBound) {
+  Rng rng(102);
+  const Graph g = gnp(80, 0.5, rng);
+  const Graph h = add93_greedy_spanner(g, 2);
+  EXPECT_LE(static_cast<double>(h.m()), add93_size_bound(g.n(), 2));
+}
+
+TEST(Add93, KOneReturnsWholeGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(add93_greedy_spanner(g, 1).m(), g.m());
+}
+
+TEST(Add93, TreeInputIsReturnedVerbatim) {
+  const Graph g = star_graph(9);
+  EXPECT_EQ(add93_greedy_spanner(g, 3).m(), g.m());
+}
+
+// ------------------------------------------------------------ Baswana-Sen
+
+TEST(BaswanaSen, StretchHoldsOnRandomGraphs) {
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng rng(1100 + trial);
+    const Graph g = gnp(50, 0.25, rng);
+    const std::uint32_t k = 2 + trial % 2;
+    Rng algo_rng(1200 + trial);
+    const Graph h = baswana_sen_spanner(g, k, algo_rng);
+    EXPECT_LE(exact_stretch(g, h), 2.0 * k - 1.0 + 1e-9)
+        << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST(BaswanaSen, WeightedStretchHolds) {
+  Rng rng(111);
+  const Graph g = with_uniform_weights(gnp(40, 0.3, rng), 1.0, 9.0, rng);
+  Rng algo_rng(112);
+  const Graph h = baswana_sen_spanner(g, 2, algo_rng);
+  EXPECT_LE(exact_stretch(g, h), 3.0 + 1e-9);
+}
+
+TEST(BaswanaSen, KOneReturnsWholeGraph) {
+  Rng rng(113);
+  const Graph g = gnp(20, 0.4, rng);
+  Rng algo_rng(114);
+  EXPECT_EQ(baswana_sen_spanner(g, 1, algo_rng).m(), g.m());
+}
+
+TEST(BaswanaSen, ExpectedSizeIsReasonable) {
+  // O(k n^{1+1/k}): for n=200, k=2 that's ~2*200^1.5 = 5657; G(200, .3)
+  // has ~6000 edges, the spanner should be clearly smaller on average.
+  Rng rng(115);
+  const Graph g = gnp(200, 0.3, rng);
+  double total = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Rng algo_rng(1150 + rep);
+    total += static_cast<double>(baswana_sen_spanner(g, 2, algo_rng).m());
+  }
+  EXPECT_LT(total / 3.0, 2.5 * std::pow(200.0, 1.5));
+}
+
+TEST(BaswanaSen, SpannerIsSubgraph) {
+  Rng rng(116), algo_rng(117);
+  const Graph g = gnp(60, 0.2, rng);
+  const Graph h = baswana_sen_spanner(g, 3, algo_rng);
+  for (const auto& e : h.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    EXPECT_DOUBLE_EQ(g.edge(*g.find_edge(e.u, e.v)).w, e.w);
+  }
+}
+
+TEST(BaswanaSen, DeterministicGivenSeed) {
+  Rng rng(118);
+  const Graph g = gnp(50, 0.25, rng);
+  Rng a(7), b(7);
+  const Graph ha = baswana_sen_spanner(g, 2, a);
+  const Graph hb = baswana_sen_spanner(g, 2, b);
+  EXPECT_EQ(ha.m(), hb.m());
+}
+
+// ------------------------------------------------------------------- DK11
+
+TEST(Dk11, IterationCountFormula) {
+  EXPECT_EQ(dk11_iterations(100, 1, 1.0),
+            static_cast<std::uint32_t>(std::ceil(std::log(100.0))));
+  EXPECT_GT(dk11_iterations(100, 3, 1.0), 27u * 4u);  // 27 * ln(100) ~ 124
+  EXPECT_THROW((void)dk11_iterations(100, 0, 1.0), std::invalid_argument);
+}
+
+TEST(Dk11, FtSpannerOnSmallGraphsExhaustive) {
+  const Graph g = testing::connected_gnp(10, 0.5, 1190);
+  const SpannerParams params{.k = 2, .f = 1};
+  Rng rng(120);
+  Dk11Config config;
+  // For f=1 a (pair, fault set) is good per iteration w.p. only 1/8, so the
+  // asymptotic f^3 ln n count needs a hefty constant at n=10.
+  config.iteration_factor = 20.0;
+  const auto build = dk11_spanner(g, params, rng, config);
+  testing::expect_ft_spanner_exhaustive(g, build.spanner, params, "DK11");
+}
+
+TEST(Dk11, SampledVerificationMediumGraph) {
+  const Graph g = testing::connected_gnp(60, 0.15, 1191);
+  const SpannerParams params{.k = 2, .f = 2};
+  Rng rng(121);
+  Dk11Config config;
+  config.iteration_factor = 3.0;
+  const auto build = dk11_spanner(g, params, rng, config);
+  testing::expect_ft_spanner_sampled(g, build.spanner, params, 60, 1210);
+}
+
+TEST(Dk11, RejectsEdgeModelAndZeroF) {
+  const Graph g = cycle_graph(5);
+  Rng rng(122);
+  EXPECT_THROW((void)dk11_spanner(
+                   g, SpannerParams{.k = 2, .f = 1, .model = FaultModel::edge},
+                   rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)dk11_spanner(g, SpannerParams{.k = 2, .f = 0}, rng),
+               std::invalid_argument);
+}
+
+TEST(Dk11, PickedIdsAreConsistent) {
+  const Graph g = testing::connected_gnp(30, 0.3, 1192);
+  const SpannerParams params{.k = 2, .f = 2};
+  Rng rng(123);
+  const auto build = dk11_spanner(g, params, rng);
+  EXPECT_EQ(build.picked.size(), build.spanner.m());
+  EXPECT_EQ(build.stats.oracle_calls,
+            dk11_iterations(g.n(), params.f, 1.0));
+}
+
+TEST(Dk11, InnerAdd93Works) {
+  const Graph g = testing::connected_gnp(10, 0.5, 1193);
+  const SpannerParams params{.k = 2, .f = 1};
+  Rng rng(124);
+  Dk11Config config;
+  config.inner = Dk11Config::Inner::add93;
+  config.iteration_factor = 20.0;
+  const auto build = dk11_spanner(g, params, rng, config);
+  testing::expect_ft_spanner_exhaustive(g, build.spanner, params, "DK11/add93");
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,102 @@
+// Tests for core/batched_greedy.h: the parallelizable relaxation of
+// Algorithm 4 (correct for every batch size; only the size degrades).
+
+#include <gtest/gtest.h>
+
+#include "core/batched_greedy.h"
+#include "core/modified_greedy.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ftspan {
+namespace {
+
+using testing::expect_ft_spanner_exhaustive;
+using testing::expect_ft_spanner_sampled;
+
+TEST(BatchedGreedy, BatchSizeOneIsAlgorithm4) {
+  Rng rng(5100);
+  const Graph g = with_uniform_weights(gnp(30, 0.3, rng), 1.0, 5.0, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto batched = batched_greedy_spanner(g, params, 1);
+  const auto sequential = modified_greedy_spanner(g, params);
+  EXPECT_EQ(batched.picked, sequential.picked);
+}
+
+TEST(BatchedGreedy, CorrectForEveryBatchSizeExhaustive) {
+  const Graph g = testing::connected_gnp(11, 0.4, 5101);
+  const SpannerParams params{.k = 2, .f = 1};
+  for (const std::size_t batch : {1u, 4u, 16u, 1000u}) {
+    const auto build = batched_greedy_spanner(g, params, batch);
+    expect_ft_spanner_exhaustive(g, build.spanner, params,
+                                 "batch=" + std::to_string(batch));
+  }
+}
+
+TEST(BatchedGreedy, CorrectOnWeightedGraphs) {
+  Rng rng(5102);
+  const Graph g = with_uniform_weights(
+      testing::connected_gnp(10, 0.45, 5103), 1.0, 9.0, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  for (const std::size_t batch : {3u, 8u}) {
+    const auto build = batched_greedy_spanner(g, params, batch);
+    expect_ft_spanner_exhaustive(g, build.spanner, params,
+                                 "weighted batch=" + std::to_string(batch));
+  }
+}
+
+TEST(BatchedGreedy, CorrectUnderEdgeFaults) {
+  const Graph g = testing::connected_gnp(10, 0.45, 5104);
+  const SpannerParams params{.k = 2, .f = 1, .model = FaultModel::edge};
+  const auto build = batched_greedy_spanner(g, params, 8);
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "EFT batched");
+}
+
+TEST(BatchedGreedy, WholeGraphBatchKeepsEverything) {
+  // One giant batch tests every edge against the empty spanner: all YES.
+  Rng rng(5105);
+  const Graph g = gnp(20, 0.4, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = batched_greedy_spanner(g, params, g.m());
+  EXPECT_EQ(build.spanner.m(), g.m());
+}
+
+TEST(BatchedGreedy, LargerBatchesNeverShrinkTheSpannerMuch) {
+  // The size should grow (weakly) with batch size on dense graphs — the
+  // decision snapshot gets staler.  Allow small non-monotonic jitter.
+  Rng rng(5106);
+  const Graph g = gnp(80, 0.4, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto sequential = batched_greedy_spanner(g, params, 1);
+  const auto medium = batched_greedy_spanner(g, params, 32);
+  const auto huge = batched_greedy_spanner(g, params, g.m());
+  EXPECT_GE(medium.spanner.m() + 5, sequential.spanner.m());
+  EXPECT_GE(huge.spanner.m(), medium.spanner.m());
+  EXPECT_EQ(huge.spanner.m(), g.m());
+}
+
+TEST(BatchedGreedy, MediumGraphSampledVerification) {
+  const Graph g = testing::connected_gnp(70, 0.15, 5107);
+  const SpannerParams params{.k = 2, .f = 2};
+  const auto build = batched_greedy_spanner(g, params, 25);
+  expect_ft_spanner_sampled(g, build.spanner, params, 60, 5108, "batched 25");
+}
+
+TEST(BatchedGreedy, StatsCountEveryEdge) {
+  Rng rng(5109);
+  const Graph g = gnp(40, 0.2, rng);
+  const auto build =
+      batched_greedy_spanner(g, SpannerParams{.k = 2, .f = 1}, 7);
+  EXPECT_EQ(build.stats.oracle_calls, g.m());
+  EXPECT_EQ(build.picked.size(), build.spanner.m());
+}
+
+TEST(BatchedGreedy, RejectsZeroBatch) {
+  const Graph g = cycle_graph(4);
+  EXPECT_THROW(
+      (void)batched_greedy_spanner(g, SpannerParams{.k = 2, .f = 1}, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,172 @@
+// Tests for distrib/congest_bs.h (Theorem 14) and distrib/congest_spanner.h
+// (Theorem 15).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distrib/congest_bs.h"
+#include "distrib/congest_spanner.h"
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "test_util.h"
+
+namespace ftspan::distrib {
+namespace {
+
+double exact_stretch(const Graph& g, const Graph& h) {
+  DijkstraRunner dg(g.n()), dh(h.n());
+  std::vector<Weight> dist_g, dist_h;
+  double worst = 1.0;
+  for (VertexId u = 0; u < g.n(); ++u) {
+    dg.all_distances(g, u, dist_g);
+    dh.all_distances(h, u, dist_h);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      if (u == v || dist_g[v] == kUnreachableWeight) continue;
+      if (dist_h[v] == kUnreachableWeight)
+        return std::numeric_limits<double>::infinity();
+      if (dist_g[v] > 0) worst = std::max(worst, dist_h[v] / dist_g[v]);
+    }
+  }
+  return worst;
+}
+
+TEST(CongestBs, ScheduleLengthFormula) {
+  EXPECT_EQ(congest_bs_schedule_rounds(1), 3u);
+  EXPECT_EQ(congest_bs_schedule_rounds(2), 3u + 3u);       // i=1: 3 rounds
+  EXPECT_EQ(congest_bs_schedule_rounds(3), 3u + 4u + 3u);  // i=1,2
+}
+
+TEST(CongestBs, StretchHoldsOnRandomGraphs) {
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = ftspan::testing::connected_gnp(40, 0.2, 2200 + trial);
+    const std::uint32_t k = 2 + trial % 2;
+    const auto result = congest_baswana_sen(g, k, 9000 + trial);
+    EXPECT_LE(exact_stretch(g, result.spanner), 2.0 * k - 1.0 + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(CongestBs, WeightedStretchHolds) {
+  Rng rng(2210);
+  const Graph g = with_uniform_weights(
+      ftspan::testing::connected_gnp(30, 0.25, 2211), 1.0, 6.0, rng);
+  const auto result = congest_baswana_sen(g, 2, 42);
+  EXPECT_LE(exact_stretch(g, result.spanner), 3.0 + 1e-9);
+}
+
+TEST(CongestBs, RoundsMatchSchedule) {
+  const Graph g = ftspan::testing::connected_gnp(50, 0.15, 2220);
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    const auto result = congest_baswana_sen(g, k, 17);
+    EXPECT_LE(result.stats.rounds, congest_bs_schedule_rounds(k) + 2)
+        << "k=" << k;
+  }
+}
+
+TEST(CongestBs, MessagesRespectCongestBudget) {
+  // The Network would throw on violation; also check the recorded maximum.
+  const Graph g = ftspan::testing::connected_gnp(64, 0.12, 2230);
+  const auto result = congest_baswana_sen(g, 3, 23);
+  EXPECT_LE(result.stats.max_edge_bits,
+            ModelLimits::congest(g.n()).bits_per_edge_round);
+}
+
+TEST(CongestBs, KOneKeepsEveryEdge) {
+  const Graph g = ftspan::testing::connected_gnp(20, 0.3, 2240);
+  const auto result = congest_baswana_sen(g, 1, 5);
+  EXPECT_EQ(result.spanner.m(), g.m());
+}
+
+TEST(CongestBs, SizeIsSubquadratic) {
+  Rng rng(2250);
+  const Graph g = gnp(150, 0.4, rng);
+  const auto result = congest_baswana_sen(g, 2, 31);
+  EXPECT_LT(static_cast<double>(result.spanner.m()),
+            3.0 * std::pow(150.0, 1.5));
+  EXPECT_LT(result.spanner.m(), g.m());
+}
+
+// ---------------------------------------------------------------- Thm 15
+
+TEST(CongestFt, OutputIsFtSpannerExhaustiveTiny) {
+  const Graph g = ftspan::testing::connected_gnp(10, 0.5, 2300);
+  CongestFtConfig config;
+  config.params = SpannerParams{.k = 2, .f = 1};
+  config.iteration_factor = 20.0;  // f=1 needs a hefty whp constant at n=10
+  config.seed = 1;
+  const auto result = congest_ft_spanner(g, config);
+  ftspan::testing::expect_ft_spanner_exhaustive(g, result.spanner,
+                                                config.params, "CONGEST FT");
+}
+
+TEST(CongestFt, OutputIsFtSpannerSampledMedium) {
+  const Graph g = ftspan::testing::connected_gnp(60, 0.15, 2301);
+  CongestFtConfig config;
+  config.params = SpannerParams{.k = 2, .f = 2};
+  config.iteration_factor = 3.0;
+  config.seed = 2;
+  const auto result = congest_ft_spanner(g, config);
+  ftspan::testing::expect_ft_spanner_sampled(
+      g, result.spanner, config.params, 60, 2302, "CONGEST FT sampled");
+}
+
+TEST(CongestFt, InstanceCountMatchesDk11) {
+  const Graph g = ftspan::testing::connected_gnp(40, 0.2, 2303);
+  CongestFtConfig config;
+  config.params = SpannerParams{.k = 2, .f = 2};
+  config.seed = 3;
+  const auto result = congest_ft_spanner(g, config);
+  EXPECT_EQ(result.instances,
+            static_cast<std::uint32_t>(
+                std::ceil(8.0 * std::log(40.0))));  // f^3 ln n
+}
+
+TEST(CongestFt, PhysicalRoundsAtLeastVirtual) {
+  const Graph g = ftspan::testing::connected_gnp(40, 0.2, 2304);
+  CongestFtConfig config;
+  config.params = SpannerParams{.k = 3, .f = 2};
+  config.seed = 4;
+  const auto result = congest_ft_spanner(g, config);
+  EXPECT_GE(result.phase2_rounds, result.virtual_rounds);
+  EXPECT_GE(result.max_edge_congestion, 1u);
+  // Scheduling bound: congestion never exceeds the instance count.
+  EXPECT_LE(result.max_edge_congestion, result.instances);
+  EXPECT_LE(result.phase2_rounds,
+            result.virtual_rounds * std::max(1u, result.max_edge_congestion));
+}
+
+TEST(CongestFt, Phase1RoundsGrowWithF) {
+  const Graph g = ftspan::testing::connected_gnp(50, 0.15, 2305);
+  std::uint32_t prev = 0;
+  for (const std::uint32_t f : {1u, 2u, 3u}) {
+    CongestFtConfig config;
+    config.params = SpannerParams{.k = 2, .f = f};
+    config.seed = 5;
+    const auto result = congest_ft_spanner(g, config);
+    EXPECT_GE(result.phase1_rounds, prev);
+    prev = result.phase1_rounds;
+  }
+}
+
+TEST(CongestFt, RejectsBadParams) {
+  const Graph g = cycle_graph(5);
+  CongestFtConfig config;
+  config.params = SpannerParams{.k = 2, .f = 1, .model = FaultModel::edge};
+  EXPECT_THROW((void)congest_ft_spanner(g, config), std::invalid_argument);
+  config.params = SpannerParams{.k = 2, .f = 0, .model = FaultModel::vertex};
+  EXPECT_THROW((void)congest_ft_spanner(g, config), std::invalid_argument);
+}
+
+TEST(CongestFt, SpannerIsSubgraph) {
+  const Graph g = ftspan::testing::connected_gnp(40, 0.25, 2306);
+  CongestFtConfig config;
+  config.params = SpannerParams{.k = 2, .f = 2};
+  config.seed = 6;
+  const auto result = congest_ft_spanner(g, config);
+  for (const auto& e : result.spanner.edges())
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+}  // namespace
+}  // namespace ftspan::distrib

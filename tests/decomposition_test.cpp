@@ -1,0 +1,123 @@
+// Tests for distrib/decomposition.h: the Theorem 11 properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distrib/decomposition.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace ftspan::distrib {
+namespace {
+
+TEST(Decomposition, EveryVertexIsAssignedInEveryPartition) {
+  const Graph g = ftspan::testing::connected_gnp(80, 0.1, 2000);
+  const auto d = build_decomposition(g, DecompositionConfig{});
+  ASSERT_FALSE(d.partitions.empty());
+  for (const auto& part : d.partitions)
+    for (VertexId v = 0; v < g.n(); ++v)
+      EXPECT_NE(part.center_of[v], kInvalidVertex);
+}
+
+TEST(Decomposition, ClustersAreConnectedViaParentChains) {
+  const Graph g = ftspan::testing::connected_gnp(60, 0.12, 2001);
+  const auto d = build_decomposition(g, DecompositionConfig{});
+  for (const auto& part : d.partitions) {
+    for (VertexId v = 0; v < g.n(); ++v) {
+      // Walking parents stays inside the same cluster and ends at the center.
+      VertexId cur = v;
+      std::size_t steps = 0;
+      while (part.parent_of[cur] != kInvalidVertex) {
+        EXPECT_EQ(part.center_of[cur], part.center_of[v]);
+        EXPECT_TRUE(g.has_edge(cur, part.parent_of[cur]));
+        cur = part.parent_of[cur];
+        ASSERT_LE(++steps, g.n());
+      }
+      EXPECT_EQ(cur, part.center_of[v]);
+    }
+  }
+}
+
+TEST(Decomposition, PartitionCountIsLogarithmic) {
+  const Graph g = ftspan::testing::connected_gnp(128, 0.08, 2002);
+  DecompositionConfig config;
+  config.partitions_factor = 2.0;
+  const auto d = build_decomposition(g, config);
+  EXPECT_EQ(d.partitions.size(),
+            static_cast<std::size_t>(std::ceil(2.0 * std::log2(128.0))));
+}
+
+TEST(Decomposition, RadiusIsBoundedByDeltaCap) {
+  const Graph g = ftspan::testing::connected_gnp(100, 0.08, 2003);
+  DecompositionConfig config;
+  config.beta = 0.25;
+  const auto d = build_decomposition(g, config);
+  const auto delta_cap = static_cast<std::uint32_t>(
+      std::ceil(2.0 * std::log(100.0) / config.beta));
+  for (const auto& part : d.partitions)
+    EXPECT_LE(part.max_radius, delta_cap);
+  EXPECT_LE(d.stats.rounds, delta_cap + 4);
+}
+
+TEST(Decomposition, EdgesAreCoveredWhp) {
+  // Theorem 11(4): whp every edge is internal to some cluster.  With the
+  // default 2*log2(n) partitions and beta=0.25 a miss would be extremely
+  // unlikely at this size; the seed fixes the run.
+  const Graph g = ftspan::testing::connected_gnp(120, 0.08, 2004);
+  const auto d = build_decomposition(g, DecompositionConfig{});
+  EXPECT_EQ(d.uncovered_edges, 0u);
+}
+
+TEST(Decomposition, SmallerBetaMakesBiggerClusters) {
+  const Graph g = ftspan::testing::connected_gnp(100, 0.1, 2005);
+  DecompositionConfig tight;
+  tight.beta = 0.8;
+  tight.seed = 7;
+  DecompositionConfig loose;
+  loose.beta = 0.1;
+  loose.seed = 7;
+  const auto dt = build_decomposition(g, tight);
+  const auto dl = build_decomposition(g, loose);
+  // Count clusters in the first partition of each.
+  auto count_clusters = [&](const Partition& p) {
+    std::set<VertexId> centers(p.center_of.begin(), p.center_of.end());
+    return centers.size();
+  };
+  // Loose (small beta) should produce no more clusters than tight.
+  EXPECT_LE(count_clusters(dl.partitions[0]) * 2,
+            count_clusters(dt.partitions[0]) * 3);
+}
+
+TEST(Decomposition, DeterministicGivenSeed) {
+  const Graph g = ftspan::testing::connected_gnp(50, 0.15, 2006);
+  DecompositionConfig a;
+  a.seed = 99;
+  const auto da = build_decomposition(g, a);
+  const auto db = build_decomposition(g, a);
+  ASSERT_EQ(da.partitions.size(), db.partitions.size());
+  for (std::size_t j = 0; j < da.partitions.size(); ++j)
+    EXPECT_EQ(da.partitions[j].center_of, db.partitions[j].center_of);
+}
+
+TEST(Decomposition, WorksOnDisconnectedGraphs) {
+  Graph g(10);
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 5 == 0 ? 0 : v + 1);
+  for (VertexId v = 5; v < 9; ++v) g.add_edge(v, v + 1);
+  const auto d = build_decomposition(g, DecompositionConfig{});
+  for (const auto& part : d.partitions)
+    for (VertexId v = 0; v < g.n(); ++v)
+      EXPECT_NE(part.center_of[v], kInvalidVertex);
+}
+
+TEST(Decomposition, SingleVertexGraph) {
+  const Graph g(1);
+  const auto d = build_decomposition(g, DecompositionConfig{});
+  for (const auto& part : d.partitions) {
+    EXPECT_EQ(part.center_of[0], 0u);
+    EXPECT_EQ(part.max_radius, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ftspan::distrib

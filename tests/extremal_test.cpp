@@ -1,0 +1,135 @@
+// Tests for src/graph/extremal.h: projective-plane incidence graphs and
+// the lower-bound blowup construction.
+
+#include <gtest/gtest.h>
+
+#include "analysis/girth.h"
+#include "core/greedy_exact.h"
+#include "core/modified_greedy.h"
+#include "fault/verifier.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace ftspan {
+namespace {
+
+TEST(ProjectivePlane, CountsMatchTheFormulae) {
+  for (const std::uint32_t q : {2u, 3u, 5u, 7u}) {
+    const Graph g = projective_plane_incidence(q);
+    const std::size_t count = static_cast<std::size_t>(q) * q + q + 1;
+    EXPECT_EQ(g.n(), 2 * count) << "q=" << q;
+    EXPECT_EQ(g.m(), (q + 1) * count) << "q=" << q;
+    for (VertexId v = 0; v < g.n(); ++v)
+      ASSERT_EQ(g.degree(v), q + 1) << "q=" << q << " v=" << v;
+  }
+}
+
+TEST(ProjectivePlane, GirthIsSix) {
+  for (const std::uint32_t q : {2u, 3u, 5u}) {
+    const Graph g = projective_plane_incidence(q);
+    EXPECT_EQ(girth(g), 6u) << "q=" << q;
+  }
+}
+
+TEST(ProjectivePlane, IsConnectedAndBipartite) {
+  const Graph g = projective_plane_incidence(3);
+  EXPECT_TRUE(is_connected(g));
+  // Bipartite: points [0, count) on one side, lines on the other.
+  const std::size_t count = 13;
+  for (const auto& e : g.edges()) {
+    const bool u_is_point = e.u < count;
+    const bool v_is_point = e.v < count;
+    EXPECT_NE(u_is_point, v_is_point);
+  }
+}
+
+TEST(ProjectivePlane, Q2IsTheHeawoodGraph) {
+  // PG(2,2) incidence = Heawood graph: 14 vertices, 21 edges, 3-regular,
+  // girth 6, diameter 3.
+  const Graph g = projective_plane_incidence(2);
+  EXPECT_EQ(g.n(), 14u);
+  EXPECT_EQ(g.m(), 21u);
+  BfsRunner bfs;
+  std::uint32_t diameter = 0;
+  for (VertexId u = 0; u < g.n(); ++u)
+    for (VertexId v = 0; v < g.n(); ++v)
+      diameter = std::max(diameter, bfs.hop_distance(g, u, v));
+  EXPECT_EQ(diameter, 3u);
+}
+
+TEST(ProjectivePlane, RejectsNonPrimeOrder) {
+  EXPECT_THROW((void)projective_plane_incidence(4), std::invalid_argument);
+  EXPECT_THROW((void)projective_plane_incidence(1), std::invalid_argument);
+  EXPECT_THROW((void)projective_plane_incidence(9), std::invalid_argument);
+}
+
+TEST(ProjectivePlane, EdgesAreExtremalForGirthSix) {
+  // m = Theta(n^{3/2}): check the Moore-bound ratio stays bounded below.
+  const Graph g = projective_plane_incidence(7);
+  const double ratio =
+      static_cast<double>(g.m()) / std::pow(static_cast<double>(g.n()), 1.5);
+  EXPECT_GT(ratio, 0.3);  // ~ (1/2)^{3/2} asymptotically
+}
+
+// ----------------------------------------------------------------- blowup
+
+TEST(Blowup, SizesAndStructure) {
+  const Graph base = path_graph(3);
+  const Graph g = blowup_graph(base, 3);
+  EXPECT_EQ(g.n(), 9u);
+  EXPECT_EQ(g.m(), 2u * 9u);  // each base edge -> K_{3,3}
+  // Twins of the same base vertex are non-adjacent.
+  EXPECT_FALSE(g.has_edge(0, 1));
+  // Twins of adjacent base vertices are fully connected.
+  for (VertexId i = 0; i < 3; ++i)
+    for (VertexId j = 3; j < 6; ++j) EXPECT_TRUE(g.has_edge(i, j));
+}
+
+TEST(Blowup, CopiesOneIsIdentity) {
+  const Graph base = petersen_graph();
+  const Graph g = blowup_graph(base, 1);
+  EXPECT_EQ(g.n(), base.n());
+  EXPECT_EQ(g.m(), base.m());
+}
+
+TEST(Blowup, InheritsWeights) {
+  Graph base(2, true);
+  base.add_edge(0, 1, 2.5);
+  const Graph g = blowup_graph(base, 2);
+  for (const auto& e : g.edges()) EXPECT_DOUBLE_EQ(e.w, 2.5);
+}
+
+TEST(Blowup, LowerBoundFormula) {
+  const Graph base = cycle_graph(6);
+  EXPECT_EQ(blowup_spanner_lower_bound(base, 2), 3u * 6u);
+}
+
+TEST(Blowup, GreedySpannerRespectsTheLowerBound) {
+  // Base girth 6 > 2k for k=2: any 1-VFT 3-spanner of the blowup with
+  // copies=2 needs >= 2 * m(base) edges; the greedy must sit between the
+  // lower bound and Theorem 8's upper bound.
+  const Graph base = projective_plane_incidence(2);  // girth 6
+  const std::uint32_t f = 1;
+  const Graph g = blowup_graph(base, f + 1);
+  const SpannerParams params{.k = 2, .f = f};
+  const auto build = modified_greedy_spanner(g, params);
+  EXPECT_GE(build.spanner.m(), blowup_spanner_lower_bound(base, f));
+  Rng rng(4242);
+  const auto report = verify_sampled(g, build.spanner, params, 80, rng);
+  EXPECT_TRUE(report.ok);
+}
+
+TEST(Blowup, ExactGreedyAlsoRespectsTheLowerBound) {
+  // Tiny instance where even Algorithm 1 is feasible: C6 blowup, k=2, f=1.
+  const Graph base = cycle_graph(6);  // girth 6 > 4
+  const Graph g = blowup_graph(base, 2);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = exact_greedy_spanner(g, params);
+  EXPECT_GE(build.spanner.m(), blowup_spanner_lower_bound(base, 1));
+  testing::expect_ft_spanner_exhaustive(g, build.spanner, params, "C6 blowup");
+}
+
+}  // namespace
+}  // namespace ftspan

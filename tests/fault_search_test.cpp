@@ -1,0 +1,187 @@
+// Tests for core/fault_search.h: the exact hitting-set branch-and-bound.
+
+#include <gtest/gtest.h>
+
+#include "core/fault_search.h"
+#include "graph/fault_mask.h"
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+bool blocks_all(const Graph& g, VertexId u, VertexId v, const PathBound& bound,
+                const FaultSet& cut) {
+  Mask mask(cut.model == FaultModel::vertex ? g.n() : g.m());
+  for (const auto id : cut.ids) mask.set(id);
+  const auto fv = cut.model == FaultModel::vertex
+                      ? make_fault_view(&mask, nullptr)
+                      : make_fault_view(nullptr, &mask);
+  if (bound.weighted_mode()) {
+    DijkstraRunner dijkstra;
+    return dijkstra.distance(g, u, v, fv, bound.max_weight) ==
+           kUnreachableWeight;
+  }
+  BfsRunner bfs;
+  return bfs.hop_distance(g, u, v, fv, bound.max_hops) == kUnreachableHops;
+}
+
+TEST(FaultSearch, EmptySetWhenAlreadyDisconnected) {
+  const Graph g = path_graph(5);
+  FaultSetSearch search;
+  const auto f = search.find_blocking_set(g, 0, 4, PathBound::hops(3), 0);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->ids.empty());  // 0..4 needs 4 hops > 3 already
+}
+
+TEST(FaultSearch, SingleVertexBlocksAPath) {
+  const Graph g = path_graph(5);
+  FaultSetSearch search;
+  const auto f = search.find_blocking_set(g, 0, 4, PathBound::hops(4), 1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ids.size(), 1u);
+  EXPECT_TRUE(blocks_all(g, 0, 4, PathBound::hops(4), *f));
+}
+
+TEST(FaultSearch, DirectEdgeHasNoVertexBlockingSet) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  FaultSetSearch search;
+  EXPECT_FALSE(search.find_blocking_set(g, 0, 1, PathBound::hops(1), 10)
+                   .has_value());
+}
+
+TEST(FaultSearch, DirectEdgeHasAnEdgeBlockingSet) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  FaultSetSearch search(FaultModel::edge);
+  const auto f = search.find_blocking_set(g, 0, 1, PathBound::hops(1), 1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ids, std::vector<std::uint32_t>{0});
+}
+
+TEST(FaultSearch, RespectsMaxFaults) {
+  // Cycle C6, terminals antipodal: both 3-hop sides must be hit -> need 2.
+  const Graph g = cycle_graph(6);
+  FaultSetSearch search;
+  EXPECT_FALSE(
+      search.find_blocking_set(g, 0, 3, PathBound::hops(5), 1).has_value());
+  const auto f = search.find_blocking_set(g, 0, 3, PathBound::hops(5), 2);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ids.size(), 2u);
+  EXPECT_TRUE(blocks_all(g, 0, 3, PathBound::hops(5), *f));
+}
+
+TEST(FaultSearch, MinimumCutOnCycleIsTwo) {
+  const Graph g = cycle_graph(8);
+  FaultSetSearch search;
+  const auto f = search.find_minimum_cut(g, 0, 4, PathBound::hops(7), 5);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ids.size(), 2u);
+}
+
+TEST(FaultSearch, MinimumCutMatchesThetaGraphWidth) {
+  // j internally-disjoint 2-hop paths: minimum length-3 vertex cut is j.
+  for (std::uint32_t j = 1; j <= 4; ++j) {
+    Graph g(2 + j);
+    for (std::uint32_t p = 0; p < j; ++p) {
+      g.add_edge(0, 2 + p);
+      g.add_edge(2 + p, 1);
+    }
+    FaultSetSearch search;
+    const auto f = search.find_minimum_cut(g, 0, 1, PathBound::hops(3), 8);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->ids.size(), j);
+    EXPECT_TRUE(blocks_all(g, 0, 1, PathBound::hops(3), *f));
+  }
+}
+
+TEST(FaultSearch, MinimumCutHonorsSizeCap) {
+  const Graph g = cycle_graph(8);
+  FaultSetSearch search;
+  EXPECT_FALSE(
+      search.find_minimum_cut(g, 0, 4, PathBound::hops(7), 1).has_value());
+}
+
+TEST(FaultSearch, EdgeModelMinimumCutOnCycle) {
+  const Graph g = cycle_graph(6);
+  FaultSetSearch search(FaultModel::edge);
+  const auto f = search.find_minimum_cut(g, 0, 3, PathBound::hops(5), 4);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ids.size(), 2u);  // one edge per side
+  EXPECT_TRUE(blocks_all(g, 0, 3, PathBound::hops(5), *f));
+}
+
+TEST(FaultSearch, WeightedModeUsesWeightBudget) {
+  // Diamond: light route 0-1-3 (weight 2), heavy route 0-2-3 (weight 10).
+  Graph g(4, true);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 5.0);
+  FaultSetSearch search;
+  // Budget 2: only the light route is short; killing vertex 1 suffices.
+  const auto f = search.find_blocking_set(g, 0, 3, PathBound::weight(2.0), 1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->ids, std::vector<std::uint32_t>{1});
+  // Budget 10: both routes are short; one fault cannot block both.
+  EXPECT_FALSE(
+      search.find_blocking_set(g, 0, 3, PathBound::weight(10.0), 1).has_value());
+  EXPECT_TRUE(
+      search.find_blocking_set(g, 0, 3, PathBound::weight(10.0), 2).has_value());
+}
+
+TEST(FaultSearch, MinimumIsNeverLargerThanAnyValidCut) {
+  // Cross-check exactness on random graphs: enumerate all single vertices
+  // and pairs by brute force; compare against find_minimum_cut.
+  Rng rng(44);
+  FaultSetSearch search;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = gnp(12, 0.3, rng);
+    const VertexId u = 0, v = 1;
+    if (g.has_edge(u, v)) continue;
+    const PathBound bound = PathBound::hops(3);
+
+    // Brute force the true minimum (size <= 2).
+    std::optional<std::size_t> brute;
+    if (blocks_all(g, u, v, bound, FaultSet{FaultModel::vertex, {}})) brute = 0;
+    for (VertexId a = 0; a < g.n() && !brute; ++a) {
+      if (a == u || a == v) continue;
+      if (blocks_all(g, u, v, bound, FaultSet{FaultModel::vertex, {a}})) brute = 1;
+    }
+    for (VertexId a = 0; a < g.n() && !brute; ++a)
+      for (VertexId b = a + 1; b < g.n() && !brute; ++b) {
+        if (a == u || a == v || b == u || b == v) continue;
+        if (blocks_all(g, u, v, bound, FaultSet{FaultModel::vertex, {a, b}}))
+          brute = 2;
+      }
+
+    const auto found = search.find_minimum_cut(g, u, v, bound, 2);
+    if (brute.has_value()) {
+      ASSERT_TRUE(found.has_value());
+      EXPECT_EQ(found->ids.size(), *brute);
+    } else {
+      EXPECT_FALSE(found.has_value());
+    }
+  }
+}
+
+TEST(FaultSearch, CountsSearchNodes) {
+  const Graph g = cycle_graph(6);
+  FaultSetSearch search;
+  (void)search.find_minimum_cut(g, 0, 3, PathBound::hops(5), 4);
+  EXPECT_GT(search.nodes_visited(), 0u);
+}
+
+TEST(FaultSearch, RejectsBadTerminals) {
+  const Graph g = path_graph(3);
+  FaultSetSearch search;
+  EXPECT_THROW(search.find_blocking_set(g, 0, 0, PathBound::hops(2), 1),
+               std::invalid_argument);
+  EXPECT_THROW(search.find_minimum_cut(g, 0, 5, PathBound::hops(2), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,214 @@
+// Tests for src/graph/generators.h: structural properties of every family.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "graph/subgraph.h"
+
+namespace ftspan {
+namespace {
+
+TEST(Generators, PathGraph) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SingleVertexPath) {
+  const Graph g = path_graph(1);
+  EXPECT_EQ(g.n(), 1u);
+  EXPECT_EQ(g.m(), 0u);
+}
+
+TEST(Generators, CycleGraph) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.m(), 6u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.m(), 15u);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, StarGraph) {
+  const Graph g = star_graph(7);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Generators, GridGraph) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 3u * 3 + 4u * 2);  // 3 rows * 3 horiz + 2*4 vert = 17
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 2u);  // corner
+}
+
+TEST(Generators, TorusGraphIsFourRegular) {
+  const Graph g = torus_graph(4, 5);
+  EXPECT_EQ(g.n(), 20u);
+  EXPECT_EQ(g.m(), 40u);
+  for (VertexId v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, HypercubeGraph) {
+  const Graph g = hypercube_graph(4);
+  EXPECT_EQ(g.n(), 16u);
+  EXPECT_EQ(g.m(), 32u);  // n * dim / 2
+  for (VertexId v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PetersenGraph) {
+  const Graph g = petersen_graph();
+  EXPECT_EQ(g.n(), 10u);
+  EXPECT_EQ(g.m(), 15u);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+  // Petersen has diameter 2.
+  BfsRunner bfs;
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = 0; v < 10; ++v)
+      EXPECT_LE(bfs.hop_distance(g, u, v), 2u);
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng(123);
+  const std::size_t n = 200;
+  const double p = 0.1;
+  const Graph g = gnp(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.m()), expected, 5 * std::sqrt(expected));
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(5);
+  EXPECT_EQ(gnp(50, 0.0, rng).m(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).m(), 45u);
+}
+
+TEST(Generators, GnpIsDeterministicGivenSeed) {
+  Rng a(77), b(77);
+  const Graph ga = gnp(64, 0.2, a);
+  const Graph gb = gnp(64, 0.2, b);
+  ASSERT_EQ(ga.m(), gb.m());
+  for (EdgeId i = 0; i < ga.m(); ++i) {
+    EXPECT_EQ(ga.edge(i).u, gb.edge(i).u);
+    EXPECT_EQ(ga.edge(i).v, gb.edge(i).v);
+  }
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  Rng rng(42);
+  const Graph g = gnm(30, 100, rng);
+  EXPECT_EQ(g.n(), 30u);
+  EXPECT_EQ(g.m(), 100u);
+}
+
+TEST(Generators, GnmDenseRegime) {
+  Rng rng(42);
+  const Graph g = gnm(12, 60, rng);  // C(12,2)=66, samples the complement
+  EXPECT_EQ(g.m(), 60u);
+}
+
+TEST(Generators, GnmRejectsTooManyEdges) {
+  Rng rng(1);
+  EXPECT_THROW(gnm(5, 11, rng), std::invalid_argument);
+}
+
+TEST(Generators, RandomGeometricRespectsRadius) {
+  Rng rng(9);
+  std::vector<Point> pts;
+  const Graph g = random_geometric(60, 0.3, rng, &pts);
+  ASSERT_EQ(pts.size(), 60u);
+  for (const auto& e : g.edges()) {
+    const double dx = pts[e.u].x - pts[e.v].x;
+    const double dy = pts[e.u].y - pts[e.v].y;
+    EXPECT_LE(std::sqrt(dx * dx + dy * dy), 0.3 + 1e-12);
+  }
+  // And non-edges are far: spot-check a few pairs.
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) {
+      if (g.has_edge(u, v)) continue;
+      const double dx = pts[u].x - pts[v].x;
+      const double dy = pts[u].y - pts[v].y;
+      EXPECT_GT(std::sqrt(dx * dx + dy * dy), 0.3 - 1e-12);
+    }
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  Rng rng(31);
+  const Graph g = random_regular(20, 3, rng);
+  for (VertexId v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);  // odd n*d
+  EXPECT_THROW(random_regular(4, 4, rng), std::invalid_argument);  // d >= n
+}
+
+TEST(Generators, BarabasiAlbertSizes) {
+  Rng rng(8);
+  const std::size_t n = 50, attach = 3;
+  const Graph g = barabasi_albert(n, attach, rng);
+  EXPECT_EQ(g.n(), n);
+  // seed clique C(4,2)=6 edges + 46 vertices * 3 edges.
+  EXPECT_EQ(g.m(), 6u + (n - attach - 1) * attach);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertHasHubs) {
+  Rng rng(8);
+  const Graph g = barabasi_albert(400, 2, rng);
+  // Preferential attachment: the max degree should far exceed the mean (4).
+  EXPECT_GT(g.max_degree(), 12u);
+}
+
+TEST(Generators, WattsStrogatzKeepsEdgeBudget) {
+  Rng rng(4);
+  const Graph g = watts_strogatz(40, 2, 0.2, rng);
+  EXPECT_EQ(g.n(), 40u);
+  // Rewiring keeps (almost) n*k edges; duplicates may drop a few.
+  EXPECT_GE(g.m(), 70u);
+  EXPECT_LE(g.m(), 80u);
+}
+
+TEST(Generators, WattsStrogatzZeroBetaIsRingLattice) {
+  Rng rng(4);
+  const Graph g = watts_strogatz(20, 2, 0.0, rng);
+  EXPECT_EQ(g.m(), 40u);
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, UniformWeightsInRange) {
+  Rng rng(6);
+  const Graph base = cycle_graph(30);
+  const Graph g = with_uniform_weights(base, 2.0, 5.0, rng);
+  EXPECT_TRUE(g.weighted());
+  EXPECT_EQ(g.m(), base.m());
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.w, 2.0);
+    EXPECT_LE(e.w, 5.0);
+  }
+}
+
+TEST(Generators, EuclideanWeightsMatchCoordinates) {
+  Rng rng(10);
+  std::vector<Point> pts;
+  const Graph base = random_geometric(40, 0.4, rng, &pts);
+  const Graph g = with_euclidean_weights(base, pts);
+  for (const auto& e : g.edges()) {
+    const double dx = pts[e.u].x - pts[e.v].x;
+    const double dy = pts[e.u].y - pts[e.v].y;
+    EXPECT_NEAR(e.w, std::sqrt(dx * dx + dy * dy), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,196 @@
+// Tests for src/graph/graph.h: construction, invariants, adjacency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/fault_mask.h"
+#include "graph/graph.h"
+
+namespace ftspan {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.n(), 0u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_FALSE(g.weighted());
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(e, 0u);
+  EXPECT_EQ(g.m(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge(e).u, 0u);
+  EXPECT_EQ(g.edge(e).v, 1u);
+  EXPECT_DOUBLE_EQ(g.edge(e).w, 1.0);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsParallelEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);  // same edge reversed
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(7, 1), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadWeights) {
+  Graph g(3, /*weighted=*/true);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, std::nan("")), std::invalid_argument);
+}
+
+TEST(Graph, UnweightedGraphRequiresUnitWeight) {
+  Graph g(3, /*weighted=*/false);
+  EXPECT_THROW(g.add_edge(0, 1, 2.0), std::invalid_argument);
+  EXPECT_NO_THROW(g.add_edge(0, 1, 1.0));
+}
+
+TEST(Graph, WeightedGraphKeepsWeights) {
+  Graph g(3, /*weighted=*/true);
+  const EdgeId e = g.add_edge(0, 2, 3.5);
+  EXPECT_DOUBLE_EQ(g.edge(e).w, 3.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.5);
+}
+
+TEST(Graph, EnsureEdgeIsIdempotent) {
+  Graph g(3);
+  const EdgeId first = g.ensure_edge(0, 1);
+  const EdgeId second = g.ensure_edge(1, 0);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(g.m(), 1u);
+}
+
+TEST(Graph, FindEdgeReturnsId) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  const EdgeId e = g.add_edge(2, 4);
+  EXPECT_EQ(g.find_edge(4, 2), std::optional<EdgeId>(e));
+  EXPECT_EQ(g.find_edge(0, 4), std::nullopt);
+}
+
+TEST(Graph, NeighborsAndDegrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_EQ(g.max_degree(), 3u);
+  std::size_t arc_count = 0;
+  for (const auto& arc : g.neighbors(0)) {
+    EXPECT_NE(arc.to, 0u);
+    ++arc_count;
+  }
+  EXPECT_EQ(arc_count, 3u);
+}
+
+TEST(Graph, ArcsCarryEdgeIdsAndWeights) {
+  Graph g(3, true);
+  const EdgeId e = g.add_edge(1, 2, 2.5);
+  bool found = false;
+  for (const auto& arc : g.neighbors(2)) {
+    if (arc.to == 1) {
+      EXPECT_EQ(arc.edge, e);
+      EXPECT_DOUBLE_EQ(arc.w, 2.5);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Graph, FromEdgesBuildsEverything) {
+  const std::vector<Edge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(Graph, EdgeIdOutOfRangeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)g.edge(1), std::invalid_argument);
+  EXPECT_THROW((void)g.degree(5), std::invalid_argument);
+  EXPECT_THROW((void)g.neighbors(5), std::invalid_argument);
+}
+
+TEST(Graph, SummaryMentionsSizes) {
+  Graph g(7, true);
+  g.add_edge(0, 1, 2.0);
+  const auto s = g.summary();
+  EXPECT_NE(s.find("n=7"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+  EXPECT_NE(s.find("weighted"), std::string::npos);
+}
+
+TEST(Graph, EdgesSpanIsInsertionOrdered) {
+  Graph g(4);
+  g.add_edge(2, 3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edges()[0].u, 2u);
+  EXPECT_EQ(g.edges()[1].u, 0u);
+}
+
+// ------------------------------------------------------------------ Mask
+
+TEST(Mask, SetTestReset) {
+  Mask m(10);
+  EXPECT_FALSE(m.test(3));
+  m.set(3);
+  EXPECT_TRUE(m.test(3));
+  m.reset(3);
+  EXPECT_FALSE(m.test(3));
+}
+
+TEST(Mask, SetAllAndCount) {
+  Mask m(10);
+  const std::vector<std::uint32_t> ids{1, 4, 7};
+  m.set_all(ids);
+  EXPECT_EQ(m.count(), 3u);
+  m.clear();
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(ScratchMask, TouchedTracking) {
+  ScratchMask m(10);
+  m.set(2);
+  m.set(5);
+  m.set(2);  // idempotent
+  EXPECT_EQ(m.touched().size(), 2u);
+  m.reset_touched();
+  EXPECT_FALSE(m.test(2));
+  EXPECT_FALSE(m.test(5));
+  EXPECT_EQ(m.touched().size(), 0u);
+}
+
+TEST(ScratchMask, EnsureUniverseGrows) {
+  ScratchMask m(2);
+  m.ensure_universe(8);
+  EXPECT_EQ(m.universe(), 8u);
+  m.set(7);
+  EXPECT_TRUE(m.test(7));
+  m.ensure_universe(4);  // never shrinks
+  EXPECT_EQ(m.universe(), 8u);
+}
+
+}  // namespace
+}  // namespace ftspan

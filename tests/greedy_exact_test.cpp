@@ -1,0 +1,151 @@
+// Tests for Algorithm 1 (core/greedy_exact.h): the exponential greedy.
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_exact.h"
+#include "graph/generators.h"
+#include "spanner/add93_greedy.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+using testing::expect_ft_spanner_exhaustive;
+
+TEST(ExactGreedy, FZeroEqualsClassicGreedyUnweighted) {
+  Rng rng(50);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gnp(30, 0.25, rng);
+    const SpannerParams params{.k = 2, .f = 0};
+    const auto build = exact_greedy_spanner(g, params);
+    const Graph classic = add93_greedy_spanner(g, 2);
+    ASSERT_EQ(build.spanner.m(), classic.m());
+    for (const auto& e : classic.edges())
+      EXPECT_TRUE(build.spanner.has_edge(e.u, e.v));
+  }
+}
+
+TEST(ExactGreedy, FZeroEqualsClassicGreedyWeighted) {
+  Rng rng(51);
+  const Graph g = with_uniform_weights(gnp(20, 0.3, rng), 1.0, 5.0, rng);
+  const SpannerParams params{.k = 2, .f = 0};
+  const auto build = exact_greedy_spanner(g, params);
+  const Graph classic = add93_greedy_spanner(g, 2);
+  ASSERT_EQ(build.spanner.m(), classic.m());
+  for (const auto& e : classic.edges())
+    EXPECT_TRUE(build.spanner.has_edge(e.u, e.v));
+}
+
+TEST(ExactGreedy, CycleMustBeKeptEntirely) {
+  // If any cycle edge were dropped, even the empty fault set would see
+  // stretch n-1 > 2k-1.
+  const Graph g = cycle_graph(9);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = exact_greedy_spanner(g, params);
+  EXPECT_EQ(build.spanner.m(), g.m());
+}
+
+TEST(ExactGreedy, TreeIsItsOwnSpanner) {
+  const Graph g = star_graph(8);
+  const SpannerParams params{.k = 3, .f = 2};
+  const auto build = exact_greedy_spanner(g, params);
+  EXPECT_EQ(build.spanner.m(), g.m());
+}
+
+TEST(ExactGreedy, CompleteGraphSmallKeepsMinDegree) {
+  // An f-VFT spanner needs min degree >= f+1 (else f faults isolate a
+  // vertex from a surviving neighbor).
+  const Graph g = complete_graph(7);
+  const SpannerParams params{.k = 2, .f = 2};
+  const auto build = exact_greedy_spanner(g, params);
+  for (VertexId v = 0; v < g.n(); ++v)
+    EXPECT_GE(build.spanner.degree(v), 3u) << "vertex " << v;
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "K7 f=2 k=2");
+}
+
+TEST(ExactGreedy, OutputIsFtSpannerOnRandomGraphs) {
+  Rng rng(52);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = testing::connected_gnp(11, 0.4, 520 + trial);
+    const SpannerParams params{.k = 2, .f = 1};
+    const auto build = exact_greedy_spanner(g, params);
+    expect_ft_spanner_exhaustive(g, build.spanner, params,
+                                 "gnp trial " + std::to_string(trial));
+  }
+}
+
+TEST(ExactGreedy, WeightedOutputIsFtSpanner) {
+  Rng rng(53);
+  const Graph g =
+      with_uniform_weights(testing::connected_gnp(10, 0.45, 530), 1.0, 3.0, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = exact_greedy_spanner(g, params);
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "weighted gnp");
+}
+
+TEST(ExactGreedy, EdgeFaultModelOutputIsFtSpanner) {
+  const Graph g = testing::connected_gnp(10, 0.4, 540);
+  const SpannerParams params{.k = 2, .f = 1, .model = FaultModel::edge};
+  const auto build = exact_greedy_spanner(g, params);
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "EFT gnp");
+}
+
+TEST(ExactGreedy, CertificatesAreBoundedByF) {
+  const Graph g = testing::connected_gnp(12, 0.4, 550);
+  const SpannerParams params{.k = 2, .f = 2};
+  const auto build = exact_greedy_spanner(g, params, /*record=*/true);
+  ASSERT_EQ(build.certificates.size(), build.picked.size());
+  for (const auto& cert : build.certificates) {
+    EXPECT_LE(cert.ids.size(), params.f);
+    EXPECT_EQ(cert.model, FaultModel::vertex);
+  }
+}
+
+TEST(ExactGreedy, PickedIdsMatchSpannerEdges) {
+  const Graph g = testing::connected_gnp(12, 0.4, 560);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = exact_greedy_spanner(g, params);
+  ASSERT_EQ(build.picked.size(), build.spanner.m());
+  for (const auto id : build.picked) {
+    const auto& e = g.edge(id);
+    EXPECT_TRUE(build.spanner.has_edge(e.u, e.v));
+  }
+  EXPECT_EQ(build.stats.oracle_calls, g.m());
+}
+
+TEST(ExactGreedy, BP19SizeBoundHolds) {
+  // [BP19]: the exact greedy has at most O(f^{1-1/k} n^{1+1/k}) edges.
+  // Check with a generous constant on small random graphs.
+  Rng rng(54);
+  for (const std::uint32_t f : {1u, 2u}) {
+    const Graph g = gnp(16, 0.5, rng);
+    const SpannerParams params{.k = 2, .f = f};
+    const auto build = exact_greedy_spanner(g, params);
+    const double bound =
+        4.0 * std::pow(f, 0.5) * std::pow(static_cast<double>(g.n()), 1.5);
+    EXPECT_LE(static_cast<double>(build.spanner.m()), bound);
+  }
+}
+
+TEST(ExactGreedy, KOneKeepsEverything) {
+  // A 1-spanner must preserve exact distances: on K_n with unit weights any
+  // missing edge breaks d(u,v)=1 <= 1*1.
+  const Graph g = complete_graph(5);
+  const SpannerParams params{.k = 1, .f = 1};
+  const auto build = exact_greedy_spanner(g, params);
+  EXPECT_EQ(build.spanner.m(), g.m());
+}
+
+TEST(ExactGreedy, MoreFaultsNeverHurtCorrectness) {
+  const Graph g = testing::connected_gnp(9, 0.5, 570);
+  for (const std::uint32_t f : {0u, 1u, 2u}) {
+    const SpannerParams params{.k = 2, .f = f};
+    const auto build = exact_greedy_spanner(g, params);
+    expect_ft_spanner_exhaustive(g, build.spanner, params,
+                                 "f=" + std::to_string(f));
+  }
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,83 @@
+// Hostile-input validation for the edge-list reader and the umbrella
+// header's compilability.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftspan.h"  // the umbrella header must compile and suffice alone
+
+namespace ftspan {
+namespace {
+
+TEST(IoValidation, UmbrellaHeaderSuffices) {
+  // Touch one symbol from each module through the umbrella include only.
+  Rng rng(1);
+  const Graph g = gnp(10, 0.5, rng);
+  const auto build = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 1});
+  EXPECT_LE(build.spanner.m(), g.m());
+  EXPECT_GE(girth(complete_graph(3)), 3u);
+  EXPECT_EQ(add93_greedy_spanner(g, 1).m(), g.m());
+}
+
+Graph parse(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+TEST(IoValidation, EndpointOutOfRange) {
+  EXPECT_THROW((void)parse("ftspan 3 1 unweighted\n0 7\n"),
+               std::invalid_argument);
+}
+
+TEST(IoValidation, SelfLoopRejected) {
+  EXPECT_THROW((void)parse("ftspan 3 1 unweighted\n2 2\n"),
+               std::invalid_argument);
+}
+
+TEST(IoValidation, DuplicateEdgeRejected) {
+  EXPECT_THROW((void)parse("ftspan 3 2 unweighted\n0 1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(IoValidation, NegativeWeightRejected) {
+  EXPECT_THROW((void)parse("ftspan 2 1 weighted\n0 1 -3.5\n"),
+               std::invalid_argument);
+}
+
+TEST(IoValidation, WeightOnUnweightedGraphRejected) {
+  // Trailing tokens after "u v" are ignored by the row parser, but a
+  // non-1 weight cannot sneak into an unweighted graph by format design:
+  // the reader never reads a weight column for unweighted files.
+  const Graph g = parse("ftspan 2 1 unweighted\n0 1 9.0\n");
+  EXPECT_DOUBLE_EQ(g.edge(0).w, 1.0);
+}
+
+TEST(IoValidation, GarbageHeaderVariants) {
+  EXPECT_THROW((void)parse(""), std::invalid_argument);
+  EXPECT_THROW((void)parse("ftspan x y unweighted\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("ftspan 3 1 kinda\n0 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("ftspan 3\n"), std::invalid_argument);
+}
+
+TEST(IoValidation, NonNumericEdgeTokens) {
+  EXPECT_THROW((void)parse("ftspan 3 1 unweighted\na b\n"),
+               std::invalid_argument);
+}
+
+TEST(IoValidation, LargeRoundTripStaysExact) {
+  Rng rng(77);
+  const Graph g = with_uniform_weights(gnp(120, 0.15, rng), 1e-9, 1e9, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.m(), g.m());
+  for (EdgeId i = 0; i < g.m(); ++i) {
+    EXPECT_EQ(back.edge(i).u, g.edge(i).u);
+    EXPECT_EQ(back.edge(i).v, g.edge(i).v);
+    EXPECT_DOUBLE_EQ(back.edge(i).w, g.edge(i).w);  // printed at 17 digits
+  }
+}
+
+}  // namespace
+}  // namespace ftspan

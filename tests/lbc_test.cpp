@@ -1,0 +1,213 @@
+// Tests for Algorithm 2 (core/lbc.h): the LBC(t, alpha) gap decider.
+
+#include <gtest/gtest.h>
+
+#include "core/fault_search.h"
+#include "core/lbc.h"
+#include "graph/fault_mask.h"
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+/// Checks that `cut` really kills every <= t-hop path between u and v.
+bool cut_is_valid(const Graph& g, VertexId u, VertexId v, std::uint32_t t,
+                  const FaultSet& cut) {
+  Mask mask(cut.model == FaultModel::vertex ? g.n() : g.m());
+  for (const auto id : cut.ids) mask.set(id);
+  BfsRunner bfs;
+  const auto fv = cut.model == FaultModel::vertex
+                      ? make_fault_view(&mask, nullptr)
+                      : make_fault_view(nullptr, &mask);
+  return bfs.hop_distance(g, u, v, fv, t) == kUnreachableHops;
+}
+
+/// Theta graph: `paths` internally disjoint u-v paths of `hops` hops each.
+/// u = 0, v = 1; interior vertices are 2, 3, ...
+Graph theta_graph(std::uint32_t paths, std::uint32_t hops) {
+  Graph g(2 + paths * (hops - 1));
+  VertexId next = 2;
+  for (std::uint32_t p = 0; p < paths; ++p) {
+    VertexId prev = 0;
+    for (std::uint32_t h = 0; h + 1 < hops; ++h) {
+      g.add_edge(prev, next);
+      prev = next++;
+    }
+    g.add_edge(prev, 1);
+  }
+  return g;
+}
+
+TEST(Lbc, NoPathMeansYesWithEmptyCut) {
+  Graph g(4);
+  g.add_edge(0, 2);  // 1 is isolated from 0
+  const auto result = lbc_decide(g, 0, 1, 3, 2);
+  EXPECT_TRUE(result.yes);
+  EXPECT_TRUE(result.cut.ids.empty());
+  EXPECT_EQ(result.sweeps, 1u);
+}
+
+TEST(Lbc, PathLongerThanTMeansYes) {
+  const Graph g = path_graph(6);  // 0..5, distance 5
+  const auto result = lbc_decide(g, 0, 5, 4, 1);
+  EXPECT_TRUE(result.yes);
+  EXPECT_TRUE(result.cut.ids.empty());
+}
+
+TEST(Lbc, SinglePathIsCutByItsInterior) {
+  const Graph g = path_graph(5);  // 0-1-2-3-4
+  const auto result = lbc_decide(g, 0, 4, 4, 1);
+  EXPECT_TRUE(result.yes);
+  EXPECT_EQ(result.cut.ids.size(), 3u);  // the whole interior went in
+  EXPECT_TRUE(cut_is_valid(g, 0, 4, 4, result.cut));
+}
+
+TEST(Lbc, DirectEdgeCannotBeVertexCut) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto result = lbc_decide(g, 0, 1, 1, 5, FaultModel::vertex);
+  EXPECT_FALSE(result.yes);  // interior of (0,1) is empty; F never grows
+  EXPECT_EQ(result.sweeps, 6u);  // alpha + 1
+}
+
+TEST(Lbc, DirectEdgeIsAnEdgeCut) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto result = lbc_decide(g, 0, 1, 1, 1, FaultModel::edge);
+  EXPECT_TRUE(result.yes);
+  ASSERT_EQ(result.cut.ids.size(), 1u);
+  EXPECT_EQ(result.cut.ids[0], 0u);  // the edge itself
+}
+
+TEST(Lbc, ThetaGraphYesWhenAlphaCoversAllPaths) {
+  const Graph g = theta_graph(3, 2);  // three 2-hop paths
+  const auto result = lbc_decide(g, 0, 1, 3, 3);
+  EXPECT_TRUE(result.yes);
+  EXPECT_TRUE(cut_is_valid(g, 0, 1, 3, result.cut));
+}
+
+TEST(Lbc, ThetaGraphNoWhenCutIsTooBig) {
+  // 8 disjoint 2-hop paths; every length-3 vertex cut needs 8 vertices but
+  // alpha * t = 2 * 3 = 6 < 8, so Theorem 4 *requires* NO.
+  const Graph g = theta_graph(8, 2);
+  const auto result = lbc_decide(g, 0, 1, 3, 2);
+  EXPECT_FALSE(result.yes);
+}
+
+TEST(Lbc, YesCertificateSizeRespectsTheorem4) {
+  // Vertex cuts accumulate at most (t-1) interior vertices per sweep.
+  Rng rng(33);
+  LbcSolver solver(FaultModel::vertex);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnp(24, 0.15, rng);
+    const std::uint32_t t = 3, alpha = 2;
+    const auto result = solver.decide(g, 0, 1, t, alpha);
+    if (result.yes) {
+      EXPECT_LE(result.cut.ids.size(), alpha * (t - 1));
+      EXPECT_TRUE(cut_is_valid(g, 0, 1, t, result.cut));
+    }
+  }
+}
+
+TEST(Lbc, EdgeCertificateSizeRespectsTheorem4) {
+  Rng rng(34);
+  LbcSolver solver(FaultModel::edge);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnp(24, 0.15, rng);
+    const std::uint32_t t = 3, alpha = 2;
+    const auto result = solver.decide(g, 0, 1, t, alpha);
+    if (result.yes) {
+      EXPECT_LE(result.cut.ids.size(), alpha * t);
+      EXPECT_TRUE(cut_is_valid(g, 0, 1, t, result.cut));
+    }
+  }
+}
+
+TEST(Lbc, CompletenessAgainstExactMinimumCut) {
+  // Theorem 4 YES side: whenever the true minimum length-t cut has size
+  // <= alpha, the decider must answer YES.
+  Rng rng(35);
+  FaultSetSearch exact(FaultModel::vertex);
+  LbcSolver solver(FaultModel::vertex);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = gnp(14, 0.25, rng);
+    if (!g.has_edge(0, 1) && g.n() >= 2) {
+      const std::uint32_t t = 3;
+      const auto min_cut = exact.find_minimum_cut(g, 0, 1, PathBound::hops(t), 6);
+      if (!min_cut) continue;
+      for (std::uint32_t alpha = static_cast<std::uint32_t>(min_cut->ids.size());
+           alpha <= 6; ++alpha) {
+        EXPECT_TRUE(solver.decide(g, 0, 1, t, alpha).yes)
+            << "min cut " << min_cut->ids.size() << ", alpha " << alpha;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 10);  // the sweep actually exercised the property
+}
+
+TEST(Lbc, SoundnessNoImpliesBigMinimumCut) {
+  // Theorem 4 NO side: if the decider says NO, every cut has size > alpha.
+  Rng rng(36);
+  FaultSetSearch exact(FaultModel::vertex);
+  LbcSolver solver(FaultModel::vertex);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = gnp(14, 0.3, rng);
+    const std::uint32_t t = 3, alpha = 1;
+    if (g.has_edge(0, 1)) continue;
+    if (!solver.decide(g, 0, 1, t, alpha).yes) {
+      const auto min_cut =
+          exact.find_minimum_cut(g, 0, 1, PathBound::hops(t), alpha);
+      EXPECT_FALSE(min_cut.has_value())
+          << "NO answered but a cut of size <= alpha exists";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST(Lbc, SweepsNeverExceedAlphaPlusOne) {
+  Rng rng(37);
+  LbcSolver solver;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gnp(30, 0.2, rng);
+    const auto result = solver.decide(g, 2, 5, 3, 4);
+    EXPECT_LE(result.sweeps, 5u);
+  }
+  EXPECT_GT(solver.total_sweeps(), 0u);
+}
+
+TEST(Lbc, TerminalsAreNeverCut) {
+  Rng rng(38);
+  LbcSolver solver(FaultModel::vertex);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnp(20, 0.3, rng);
+    const auto result = solver.decide(g, 3, 7, 3, 3);
+    for (const auto id : result.cut.ids) {
+      EXPECT_NE(id, 3u);
+      EXPECT_NE(id, 7u);
+    }
+  }
+}
+
+TEST(Lbc, RejectsBadArguments) {
+  const Graph g = path_graph(4);
+  LbcSolver solver;
+  EXPECT_THROW(solver.decide(g, 0, 0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(solver.decide(g, 0, 9, 3, 1), std::invalid_argument);
+  EXPECT_THROW(solver.decide(g, 0, 1, 0, 1), std::invalid_argument);
+}
+
+TEST(Lbc, AlphaZeroIsPlainReachabilityTest) {
+  const Graph g = cycle_graph(6);
+  // alpha = 0: one BFS; YES iff no <= t-hop path.
+  EXPECT_FALSE(lbc_decide(g, 0, 3, 3, 0).yes);
+  EXPECT_TRUE(lbc_decide(g, 0, 3, 2, 0).yes);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,142 @@
+// Lemma 3: H is an f-FT t-spanner iff the stretch condition holds for the
+// *edge* pairs of G (with d_{G\F}(u,v) = w(u,v)).  The verifier relies on
+// this reduction; here we cross-validate it against a brute-force checker
+// of Definition 1 over ALL vertex pairs.
+
+#include <gtest/gtest.h>
+
+#include "core/modified_greedy.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+/// Definition 1 verbatim: every fault set, every surviving vertex pair.
+bool definition1_holds(const Graph& g, const Graph& h,
+                       const SpannerParams& params) {
+  const auto universe =
+      static_cast<std::uint32_t>(params.model == FaultModel::vertex ? g.n()
+                                                                    : g.m());
+  const double t = params.stretch();
+  std::vector<std::uint32_t> subset;
+
+  // Enumerate subsets of size <= f via an explicit stack of combinations.
+  std::function<bool(std::uint32_t, std::uint32_t)> enumerate =
+      [&](std::uint32_t start, std::uint32_t remaining) -> bool {
+    {
+      const FaultSet faults{params.model, subset};
+      const Graph g_left = remove_fault_set(g, faults);
+      // Edge fault ids name g-edges; h's copies are matched by endpoints.
+      Graph h_left(h.n(), h.weighted());
+      if (params.model == FaultModel::edge) {
+        Mask dead_pairs(g.m());
+        for (const auto id : subset) dead_pairs.set(id);
+        for (const auto& e : h.edges()) {
+          const auto in_g = g.find_edge(e.u, e.v);
+          if (in_g && dead_pairs.test(*in_g)) continue;
+          h_left.add_edge(e.u, e.v, e.w);
+        }
+      } else {
+        h_left = remove_fault_set(h, faults);
+      }
+      DijkstraRunner dg(g.n()), dh(g.n());
+      std::vector<Weight> dist_g, dist_h;
+      Mask down(g.n());
+      if (params.model == FaultModel::vertex)
+        for (const auto id : subset) down.set(id);
+      for (VertexId u = 0; u < g.n(); ++u) {
+        if (down.test(u)) continue;
+        dg.all_distances(g_left, u, dist_g);
+        dh.all_distances(h_left, u, dist_h);
+        for (VertexId v = 0; v < g.n(); ++v) {
+          if (u == v || down.test(v)) continue;
+          if (dist_g[v] == kUnreachableWeight) continue;
+          if (dist_h[v] == kUnreachableWeight ||
+              dist_h[v] > t * dist_g[v] + 1e-9)
+            return false;
+        }
+      }
+    }
+    if (remaining == 0) return true;
+    for (std::uint32_t next = start; next < universe; ++next) {
+      subset.push_back(next);
+      const bool ok = enumerate(next + 1, remaining - 1);
+      subset.pop_back();
+      if (!ok) return false;
+    }
+    return true;
+  };
+  return enumerate(0, params.f);
+}
+
+struct Lemma3Case {
+  std::uint64_t seed;
+  std::uint32_t k;
+  std::uint32_t f;
+  FaultModel model;
+  bool weighted;
+};
+
+class Lemma3Equivalence : public ::testing::TestWithParam<Lemma3Case> {};
+
+TEST_P(Lemma3Equivalence, EdgePairCheckEqualsAllPairCheck) {
+  const auto& c = GetParam();
+  Rng rng(c.seed);
+  Graph g = gnp(9, 0.45, rng);
+  if (c.weighted) g = with_uniform_weights(g, 1.0, 6.0, rng);
+  const SpannerParams params{.k = c.k, .f = c.f, .model = c.model};
+
+  // Check both a real spanner (should pass both) and a deliberately
+  // truncated one (often fails both) — equivalence must hold either way.
+  const auto good = modified_greedy_spanner(g, params).spanner;
+  Graph bad(g.n(), g.weighted());
+  for (EdgeId id = 0; id + 2 < good.m(); ++id) {
+    const auto& e = good.edge(id);
+    bad.add_edge(e.u, e.v, e.w);  // drop the last two chosen edges
+  }
+
+  for (const Graph* h : std::initializer_list<const Graph*>{&good, &bad}) {
+    const bool lemma3 = verify_exhaustive(g, *h, params).ok;
+    const bool definition1 = definition1_holds(g, *h, params);
+    EXPECT_EQ(lemma3, definition1)
+        << "Lemma 3 reduction disagreed with Definition 1 (seed " << c.seed
+        << ", spanner " << (h == &good ? "good" : "truncated") << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Lemma3Equivalence,
+    ::testing::Values(Lemma3Case{11, 2, 1, FaultModel::vertex, false},
+                      Lemma3Case{12, 2, 1, FaultModel::vertex, true},
+                      Lemma3Case{13, 2, 1, FaultModel::edge, false},
+                      Lemma3Case{14, 2, 1, FaultModel::edge, true},
+                      Lemma3Case{15, 2, 2, FaultModel::vertex, false},
+                      Lemma3Case{16, 3, 1, FaultModel::vertex, true},
+                      Lemma3Case{17, 1, 1, FaultModel::vertex, false},
+                      Lemma3Case{18, 2, 2, FaultModel::edge, false}));
+
+TEST(Lemma3, TriangleInequalityArgumentOnAPath) {
+  // The lemma's proof composes per-edge stretch along shortest paths; on a
+  // weighted path with a shortcut, check the composition numerically.
+  Graph g(4, true);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 1.5);
+  g.add_edge(0, 3, 10.0);  // heavy shortcut
+  Graph h(4, true);        // spanner drops the shortcut
+  h.add_edge(0, 1, 1.0);
+  h.add_edge(1, 2, 2.0);
+  h.add_edge(2, 3, 1.5);
+  const SpannerParams params{.k = 2, .f = 0};
+  // d_G(0,3) = 4.5 via the path, so dropping the weight-10 edge is free.
+  EXPECT_TRUE(verify_exhaustive(g, h, params).ok);
+  EXPECT_TRUE(definition1_holds(g, h, params));
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,112 @@
+// Tests for distrib/local_spanner.h: the Theorem 12 LOCAL construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distrib/local_spanner.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace ftspan::distrib {
+namespace {
+
+using ftspan::testing::expect_ft_spanner_exhaustive;
+using ftspan::testing::expect_ft_spanner_sampled;
+
+LocalSpannerConfig make_config(std::uint32_t k, std::uint32_t f,
+                               std::uint64_t seed) {
+  LocalSpannerConfig config;
+  config.params = SpannerParams{.k = k, .f = f};
+  config.decomposition.seed = seed;
+  return config;
+}
+
+TEST(LocalSpanner, OutputIsFtSpannerSmallExhaustive) {
+  const Graph g = ftspan::testing::connected_gnp(11, 0.4, 2100);
+  const auto build = local_ft_spanner(g, make_config(2, 1, 1));
+  expect_ft_spanner_exhaustive(g, build.spanner, SpannerParams{.k = 2, .f = 1},
+                               "LOCAL small");
+}
+
+TEST(LocalSpanner, OutputIsFtSpannerMediumSampled) {
+  const Graph g = ftspan::testing::connected_gnp(70, 0.12, 2101);
+  const auto build = local_ft_spanner(g, make_config(2, 2, 2));
+  expect_ft_spanner_sampled(g, build.spanner, SpannerParams{.k = 2, .f = 2}, 60,
+                            2102, "LOCAL medium");
+}
+
+TEST(LocalSpanner, SpannerIsSubgraphWithOriginalWeights) {
+  Rng rng(2103);
+  const Graph g = with_uniform_weights(
+      ftspan::testing::connected_gnp(40, 0.2, 2104), 1.0, 5.0, rng);
+  const auto build = local_ft_spanner(g, make_config(2, 1, 3));
+  for (const auto& e : build.spanner.edges()) {
+    const auto id = g.find_edge(e.u, e.v);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_DOUBLE_EQ(g.edge(*id).w, e.w);
+  }
+}
+
+TEST(LocalSpanner, RoundsScaleLogarithmically) {
+  // Theorem 12: O(log n) rounds.  Check against the explicit Delta-derived
+  // bound rather than a fragile constant.
+  for (const std::size_t n : {40u, 80u, 160u}) {
+    const Graph g = ftspan::testing::connected_gnp(n, 16.0 / n, 2110 + n);
+    const auto config = make_config(2, 1, 4);
+    const auto build = local_ft_spanner(g, config);
+    const double delta_cap =
+        std::ceil(2.0 * std::log(static_cast<double>(n)) /
+                  config.decomposition.beta);
+    EXPECT_LE(build.decomposition_stats.rounds, delta_cap + 4) << "n=" << n;
+    EXPECT_LE(build.stats.rounds, 2 * build.max_cluster_radius + 8) << "n=" << n;
+  }
+}
+
+TEST(LocalSpanner, SizeCarriesTheLogNFactorNotMore) {
+  const Graph g = ftspan::testing::connected_gnp(150, 0.15, 2120);
+  const auto build = local_ft_spanner(g, make_config(2, 1, 5));
+  // O(k f^{1-1/k} n^{1+1/k} log n) with a generous constant.
+  const double bound = 4.0 * 2.0 * std::pow(150.0, 1.5) * std::log2(150.0);
+  EXPECT_LE(static_cast<double>(build.spanner.m()), bound);
+  EXPECT_GT(build.partitions, 0u);
+}
+
+TEST(LocalSpanner, ExactGreedyModeOnTinyGraph) {
+  const Graph g = ftspan::testing::connected_gnp(9, 0.5, 2130);
+  auto config = make_config(2, 1, 6);
+  config.use_exact_greedy = true;
+  const auto build = local_ft_spanner(g, config);
+  expect_ft_spanner_exhaustive(g, build.spanner, config.params, "LOCAL exact");
+}
+
+TEST(LocalSpanner, EdgeFaultModel) {
+  const Graph g = ftspan::testing::connected_gnp(10, 0.45, 2140);
+  auto config = make_config(2, 1, 7);
+  config.params.model = FaultModel::edge;
+  const auto build = local_ft_spanner(g, config);
+  expect_ft_spanner_exhaustive(g, build.spanner, config.params, "LOCAL EFT");
+}
+
+TEST(LocalSpanner, DisconnectedInput) {
+  Graph g(8);
+  for (VertexId v = 0; v < 4; ++v) g.add_edge(v, (v + 1) % 4);
+  for (VertexId v = 4; v < 8; ++v) g.add_edge(v, v == 7 ? 4 : v + 1);
+  const auto build = local_ft_spanner(g, make_config(2, 1, 8));
+  std::size_t count = 0;
+  (void)connected_components(build.spanner, &count);
+  EXPECT_EQ(count, 2u);
+  expect_ft_spanner_exhaustive(g, build.spanner, SpannerParams{.k = 2, .f = 1},
+                               "LOCAL disconnected");
+}
+
+TEST(LocalSpanner, StructuredTopology) {
+  const Graph g = torus_graph(5, 5);
+  const auto build = local_ft_spanner(g, make_config(2, 1, 9));
+  expect_ft_spanner_sampled(g, build.spanner, SpannerParams{.k = 2, .f = 1}, 50,
+                            2150, "LOCAL torus");
+}
+
+}  // namespace
+}  // namespace ftspan::distrib

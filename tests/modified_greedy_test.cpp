@@ -1,0 +1,256 @@
+// Tests for Algorithms 3/4 (core/modified_greedy.h): the paper's
+// polynomial-time construction, including exhaustive + property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/greedy_exact.h"
+#include "core/modified_greedy.h"
+#include "core/result.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "spanner/add93_greedy.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+using testing::expect_ft_spanner_exhaustive;
+using testing::expect_ft_spanner_sampled;
+
+TEST(ModifiedGreedy, EmptyAndTinyGraphs) {
+  const SpannerParams params{.k = 2, .f = 1};
+  const Graph empty(0);
+  EXPECT_EQ(modified_greedy_spanner(empty, params).spanner.n(), 0u);
+  Graph one_edge(2);
+  one_edge.add_edge(0, 1);
+  const auto build = modified_greedy_spanner(one_edge, params);
+  EXPECT_EQ(build.spanner.m(), 1u);
+}
+
+TEST(ModifiedGreedy, KOneKeepsEveryEdge) {
+  // LBC(1, f): the direct edge is absent from H when scanned, so every edge
+  // is added — the only f-FT 1-spanner of G is G.
+  const Graph g = complete_graph(6);
+  for (const auto model : {FaultModel::vertex, FaultModel::edge}) {
+    const SpannerParams params{.k = 1, .f = 2, .model = model};
+    EXPECT_EQ(modified_greedy_spanner(g, params).spanner.m(), g.m());
+  }
+}
+
+TEST(ModifiedGreedy, FZeroEqualsClassicGreedyUnweighted) {
+  Rng rng(60);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gnp(40, 0.2, rng);
+    const SpannerParams params{.k = 2, .f = 0};
+    const auto build = modified_greedy_spanner(g, params);
+    const Graph classic = add93_greedy_spanner(g, 2);
+    ASSERT_EQ(build.spanner.m(), classic.m()) << "trial " << trial;
+    for (const auto& e : classic.edges())
+      EXPECT_TRUE(build.spanner.has_edge(e.u, e.v));
+  }
+}
+
+TEST(ModifiedGreedy, CycleIsKeptEntirely) {
+  const Graph g = cycle_graph(10);
+  const SpannerParams params{.k = 2, .f = 1};
+  EXPECT_EQ(modified_greedy_spanner(g, params).spanner.m(), g.m());
+}
+
+TEST(ModifiedGreedy, PreservesConnectivity) {
+  const Graph g = testing::connected_gnp(60, 0.12, 610);
+  const SpannerParams params{.k = 3, .f = 2};
+  const auto build = modified_greedy_spanner(g, params);
+  EXPECT_TRUE(is_connected(build.spanner));
+}
+
+TEST(ModifiedGreedy, HandlesDisconnectedInputs) {
+  Graph g(8);
+  // two squares
+  for (const VertexId base : {0u, 4u})
+    for (VertexId i = 0; i < 4; ++i)
+      g.add_edge(base + i, base + (i + 1) % 4);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = modified_greedy_spanner(g, params);
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "two squares");
+  std::size_t count = 0;
+  (void)connected_components(build.spanner, &count);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(ModifiedGreedy, DeterministicGivenConfig) {
+  const Graph g = testing::connected_gnp(40, 0.2, 620);
+  const SpannerParams params{.k = 2, .f = 2};
+  const auto a = modified_greedy_spanner(g, params);
+  const auto b = modified_greedy_spanner(g, params);
+  EXPECT_EQ(a.picked, b.picked);
+}
+
+TEST(ModifiedGreedy, StatsAreConsistent) {
+  const Graph g = testing::connected_gnp(30, 0.25, 630);
+  const SpannerParams params{.k = 2, .f = 1};
+  ModifiedGreedyConfig config;
+  config.record_certificates = true;
+  const auto build = modified_greedy_spanner(g, params, config);
+  EXPECT_EQ(build.stats.oracle_calls, g.m());
+  EXPECT_EQ(build.picked.size(), build.spanner.m());
+  EXPECT_EQ(build.certificates.size(), build.picked.size());
+  EXPECT_GT(build.stats.search_sweeps, 0u);
+  // Lemma 6: |F_e| <= f * (2k-1).
+  for (const auto& cert : build.certificates)
+    EXPECT_LE(cert.ids.size(), params.f * (2 * params.k - 1));
+}
+
+TEST(ModifiedGreedy, CertificateVerticesExcludeEndpoints) {
+  const Graph g = testing::connected_gnp(25, 0.3, 640);
+  const SpannerParams params{.k = 2, .f = 2};
+  ModifiedGreedyConfig config;
+  config.record_certificates = true;
+  const auto build = modified_greedy_spanner(g, params, config);
+  for (std::size_t i = 0; i < build.picked.size(); ++i) {
+    const auto& e = g.edge(build.picked[i]);
+    for (const auto x : build.certificates[i].ids) {
+      EXPECT_NE(x, e.u);
+      EXPECT_NE(x, e.v);
+    }
+  }
+}
+
+TEST(ModifiedGreedy, Theorem8SizeBoundWithSlack) {
+  // |E(H)| <= C * k * f^{1-1/k} * n^{1+1/k}; C = 4 is comfortable at these
+  // sizes (the hidden constant in Theorem 8 is moderate).
+  Rng rng(65);
+  for (const auto& [n, p, k, f] :
+       {std::tuple{100, 0.3, 2u, 1u}, std::tuple{100, 0.3, 2u, 3u},
+        std::tuple{150, 0.2, 3u, 2u}}) {
+    const Graph g = gnp(n, p, rng);
+    const SpannerParams params{.k = k, .f = f};
+    const auto build = modified_greedy_spanner(g, params);
+    EXPECT_LE(static_cast<double>(build.spanner.m()),
+              4.0 * theorem8_size_bound(g.n(), k, f))
+        << "n=" << n << " k=" << k << " f=" << f;
+  }
+}
+
+TEST(ModifiedGreedy, SparsifiesDenseGraphs) {
+  // The whole point: on dense inputs the spanner is much smaller than G.
+  Rng rng(66);
+  const Graph g = gnp(120, 0.5, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = modified_greedy_spanner(g, params);
+  EXPECT_LT(build.spanner.m(), g.m() / 2);
+}
+
+TEST(ModifiedGreedy, InputAndRandomOrdersAreAlsoCorrectUnweighted) {
+  // Theorem 5 holds for *any* scan order on unweighted graphs.
+  const Graph g = testing::connected_gnp(11, 0.4, 670);
+  const SpannerParams params{.k = 2, .f = 1};
+  for (const auto order :
+       {EdgeOrder::input, EdgeOrder::random, EdgeOrder::by_weight_desc}) {
+    ModifiedGreedyConfig config;
+    config.order = order;
+    const auto build = modified_greedy_spanner(g, params, config);
+    expect_ft_spanner_exhaustive(g, build.spanner, params, "order variant");
+  }
+}
+
+TEST(ModifiedGreedy, RandomOrderSeedChangesScan) {
+  Rng gen_rng(68);
+  const Graph g = gnp(50, 0.3, gen_rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  ModifiedGreedyConfig a;
+  a.order = EdgeOrder::random;
+  a.shuffle_seed = 1;
+  ModifiedGreedyConfig b = a;
+  b.shuffle_seed = 2;
+  const auto build_a = modified_greedy_spanner(g, params, a);
+  const auto build_b = modified_greedy_spanner(g, params, b);
+  // Both valid; almost surely different scan orders -> different picks.
+  EXPECT_NE(build_a.picked, build_b.picked);
+}
+
+// ------------------------------------------------------ property sweeps
+
+struct SweepCase {
+  std::size_t n;
+  double p;
+  std::uint32_t k;
+  std::uint32_t f;
+  FaultModel model;
+  std::uint64_t seed;
+};
+
+class ModifiedGreedySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ModifiedGreedySweep, ExhaustiveFtVerification) {
+  const auto& c = GetParam();
+  const Graph g = testing::connected_gnp(c.n, c.p, c.seed);
+  const SpannerParams params{.k = c.k, .f = c.f, .model = c.model};
+  const auto build = modified_greedy_spanner(g, params);
+  expect_ft_spanner_exhaustive(g, build.spanner, params);
+  // Spanner edges are a subset of G's.
+  for (const auto& e : build.spanner.edges()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGraphs, ModifiedGreedySweep,
+    ::testing::Values(
+        SweepCase{9, 0.45, 2, 1, FaultModel::vertex, 700},
+        SweepCase{9, 0.45, 2, 1, FaultModel::edge, 701},
+        SweepCase{10, 0.40, 2, 2, FaultModel::vertex, 702},
+        SweepCase{10, 0.40, 2, 2, FaultModel::edge, 703},
+        SweepCase{11, 0.35, 3, 1, FaultModel::vertex, 704},
+        SweepCase{11, 0.35, 3, 1, FaultModel::edge, 705},
+        SweepCase{12, 0.35, 1, 2, FaultModel::vertex, 706},
+        SweepCase{8, 0.60, 2, 3, FaultModel::vertex, 707},
+        SweepCase{8, 0.60, 2, 3, FaultModel::edge, 708},
+        SweepCase{12, 0.30, 4, 1, FaultModel::vertex, 709}));
+
+class ModifiedGreedySampledSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ModifiedGreedySampledSweep, SampledFtVerification) {
+  const auto& c = GetParam();
+  const Graph g = testing::connected_gnp(c.n, c.p, c.seed);
+  const SpannerParams params{.k = c.k, .f = c.f, .model = c.model};
+  const auto build = modified_greedy_spanner(g, params);
+  expect_ft_spanner_sampled(g, build.spanner, params, 60, c.seed * 31 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MediumGraphs, ModifiedGreedySampledSweep,
+    ::testing::Values(
+        SweepCase{60, 0.15, 2, 1, FaultModel::vertex, 710},
+        SweepCase{60, 0.15, 2, 2, FaultModel::vertex, 711},
+        SweepCase{60, 0.15, 2, 3, FaultModel::edge, 712},
+        SweepCase{80, 0.10, 3, 2, FaultModel::vertex, 713},
+        SweepCase{80, 0.10, 3, 2, FaultModel::edge, 714},
+        SweepCase{100, 0.08, 2, 4, FaultModel::vertex, 715},
+        SweepCase{50, 0.25, 4, 1, FaultModel::vertex, 716},
+        SweepCase{70, 0.12, 2, 1, FaultModel::edge, 717}));
+
+TEST(ModifiedGreedy, StructuredTopologiesSurviveFaults) {
+  const SpannerParams params{.k = 2, .f = 1};
+  for (const Graph& g : {grid_graph(4, 5), hypercube_graph(4), petersen_graph(),
+                         torus_graph(4, 4)}) {
+    const auto build = modified_greedy_spanner(g, params);
+    expect_ft_spanner_sampled(g, build.spanner, params, 80, 99);
+  }
+}
+
+TEST(ModifiedGreedy, AgainstExactGreedyOnSmallInstances) {
+  // The paper promises the modified greedy loses at most ~k in size; check
+  // the much weaker sanity bound |modified| <= (2k-1) * |exact| + n here.
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = testing::connected_gnp(12, 0.45, 720 + trial);
+    const SpannerParams params{.k = 2, .f = 1};
+    const auto modified = modified_greedy_spanner(g, params);
+    const auto exact = exact_greedy_spanner(g, params);
+    EXPECT_LE(modified.spanner.m(), 3 * exact.spanner.m() + g.n());
+    EXPECT_GE(modified.spanner.m(), exact.spanner.m() / 3);
+  }
+}
+
+}  // namespace
+}  // namespace ftspan

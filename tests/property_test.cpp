@@ -1,0 +1,222 @@
+// Cross-validation property sweeps: randomized inputs, two independent
+// implementations of the same quantity compared against each other.
+
+#include <gtest/gtest.h>
+
+#include "core/batched_greedy.h"
+#include "core/fault_search.h"
+#include "core/lbc.h"
+#include "core/modified_greedy.h"
+#include "graph/generators.h"
+#include "graph/search.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+// --------------------------------------------------------------- searches
+
+/// Searching with fault masks must agree with physically removing the
+/// faulted elements and searching the smaller graph.
+class MaskedSearchEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MaskedSearchEquivalence, BfsMatchesPhysicalRemoval) {
+  Rng rng(GetParam());
+  const Graph g = gnp(40, 0.12, rng);
+  FaultSet faults{FaultModel::vertex, {}};
+  while (faults.ids.size() < 4) {
+    const auto v = static_cast<std::uint32_t>(rng.next_below(g.n()));
+    if (std::find(faults.ids.begin(), faults.ids.end(), v) == faults.ids.end())
+      faults.ids.push_back(v);
+  }
+  const Mask mask = fault_mask(g, faults);
+  const Graph removed = remove_fault_set(g, faults);
+
+  BfsRunner masked, physical;
+  const auto view = make_fault_view(&mask, nullptr);
+  for (VertexId u = 0; u < g.n(); ++u) {
+    if (mask.test(u)) continue;
+    for (VertexId v = 0; v < g.n(); ++v) {
+      if (mask.test(v) || u == v) continue;
+      EXPECT_EQ(masked.hop_distance(g, u, v, view),
+                physical.hop_distance(removed, u, v))
+          << "pair (" << u << "," << v << ")";
+    }
+  }
+}
+
+TEST_P(MaskedSearchEquivalence, DijkstraMatchesPhysicalRemoval) {
+  Rng rng(GetParam() + 1000);
+  const Graph g = with_uniform_weights(gnp(30, 0.18, rng), 0.5, 5.0, rng);
+  FaultSet faults{FaultModel::edge, {}};
+  while (faults.ids.size() < 5 && faults.ids.size() < g.m()) {
+    const auto e = static_cast<std::uint32_t>(rng.next_below(g.m()));
+    if (std::find(faults.ids.begin(), faults.ids.end(), e) == faults.ids.end())
+      faults.ids.push_back(e);
+  }
+  const Mask mask = fault_mask(g, faults);
+  const Graph removed = remove_fault_set(g, faults);
+
+  DijkstraRunner masked, physical;
+  const auto view = make_fault_view(nullptr, &mask);
+  for (VertexId u = 0; u < g.n(); u += 3) {
+    for (VertexId v = 0; v < g.n(); ++v) {
+      const auto a = masked.distance(g, u, v, view);
+      const auto b = physical.distance(removed, u, v);
+      if (a == kUnreachableWeight) {
+        EXPECT_EQ(b, kUnreachableWeight);
+      } else {
+        EXPECT_NEAR(a, b, 1e-9) << "pair (" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskedSearchEquivalence,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// -------------------------------------------------------------------- LBC
+
+/// LBC must satisfy both Theorem 4 directions against the exact optimum on
+/// every random instance (heavier sweep than lbc_test's spot checks).
+class LbcGapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LbcGapProperty, BothDirectionsAgainstExactOptimum) {
+  Rng rng(GetParam());
+  FaultSetSearch exact(FaultModel::vertex);
+  LbcSolver lbc(FaultModel::vertex);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gnp(13, 0.3, rng);
+    const VertexId u = 0, v = 1;
+    if (g.has_edge(u, v)) continue;
+    const std::uint32_t t = 3, alpha = 2;
+    const auto min_cut =
+        exact.find_minimum_cut(g, u, v, PathBound::hops(t), alpha * t + 1);
+    const auto result = lbc.decide(g, u, v, t, alpha);
+    if (min_cut && min_cut->ids.size() <= alpha) {
+      EXPECT_TRUE(result.yes) << "completeness failed, opt="
+                              << min_cut->ids.size();
+    }
+    if (!result.yes && min_cut) {
+      EXPECT_GT(min_cut->ids.size(), alpha) << "soundness failed";
+    }
+    if (result.yes) {
+      // The YES certificate must actually cut all short paths.
+      Mask mask(g.n());
+      for (const auto id : result.cut.ids) mask.set(id);
+      BfsRunner bfs;
+      EXPECT_EQ(bfs.hop_distance(g, u, v, make_fault_view(&mask, nullptr), t),
+                kUnreachableHops);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LbcGapProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u));
+
+// ---------------------------------------------------- greedy invariants
+
+struct GreedyPropertyCase {
+  std::uint64_t seed;
+  std::uint32_t k;
+  std::uint32_t f;
+  FaultModel model;
+};
+
+class GreedyInvariants : public ::testing::TestWithParam<GreedyPropertyCase> {};
+
+TEST_P(GreedyInvariants, StructuralInvariantsHold) {
+  const auto& c = GetParam();
+  const Graph g = testing::connected_gnp(50, 0.18, c.seed);
+  const SpannerParams params{.k = c.k, .f = c.f, .model = c.model};
+  ModifiedGreedyConfig config;
+  config.record_certificates = true;
+  const auto build = modified_greedy_spanner(g, params, config);
+
+  // 1. H is a subgraph of G with identical weights.
+  for (const auto& e : build.spanner.edges()) {
+    const auto id = g.find_edge(e.u, e.v);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_DOUBLE_EQ(g.edge(*id).w, e.w);
+  }
+  // 2. picked ids are unique and consistent with H.
+  auto picked = build.picked;
+  std::sort(picked.begin(), picked.end());
+  EXPECT_EQ(std::adjacent_find(picked.begin(), picked.end()), picked.end());
+  EXPECT_EQ(build.picked.size(), build.spanner.m());
+  // 3. Certificates obey the Lemma 6 cap and exclude the endpoints.
+  for (std::size_t i = 0; i < build.certificates.size(); ++i) {
+    const auto& cert = build.certificates[i];
+    EXPECT_LE(cert.ids.size(), params.f * params.stretch());
+    if (c.model == FaultModel::vertex) {
+      const auto& e = g.edge(build.picked[i]);
+      for (const auto x : cert.ids) {
+        EXPECT_NE(x, e.u);
+        EXPECT_NE(x, e.v);
+      }
+    }
+  }
+  // 4. Components are preserved (finite stretch within components).
+  std::size_t g_comps = 0, h_comps = 0;
+  (void)connected_components(g, &g_comps);
+  (void)connected_components(build.spanner, &h_comps);
+  EXPECT_EQ(g_comps, h_comps);
+  // 5. Adding every G-edge back keeps the FT property trivially; instead
+  //    check H itself with sampled adversarial faults.
+  testing::expect_ft_spanner_sampled(g, build.spanner, params, 40,
+                                     c.seed * 13 + 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyInvariants,
+    ::testing::Values(GreedyPropertyCase{1, 2, 1, FaultModel::vertex},
+                      GreedyPropertyCase{2, 2, 2, FaultModel::vertex},
+                      GreedyPropertyCase{3, 3, 1, FaultModel::vertex},
+                      GreedyPropertyCase{4, 2, 3, FaultModel::edge},
+                      GreedyPropertyCase{5, 3, 2, FaultModel::edge},
+                      GreedyPropertyCase{6, 4, 1, FaultModel::vertex},
+                      GreedyPropertyCase{7, 1, 2, FaultModel::edge},
+                      GreedyPropertyCase{8, 2, 4, FaultModel::vertex}));
+
+// ------------------------------------------------- batched vs sequential
+
+class BatchedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedEquivalence, BatchOneIsExactlySequentialOnWeightedInputs) {
+  Rng rng(GetParam());
+  const Graph g = with_uniform_weights(gnp(35, 0.25, rng), 1.0, 7.0, rng);
+  const SpannerParams params{.k = 2, .f = 2};
+  EXPECT_EQ(batched_greedy_spanner(g, params, 1).picked,
+            modified_greedy_spanner(g, params).picked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedEquivalence,
+                         ::testing::Values(71u, 72u, 73u, 74u));
+
+// ------------------------------------------------------ subgraph algebra
+
+TEST(SubgraphAlgebra, InducedThenRemoveCommutes) {
+  // induced(g, S) with faults F inside S == induced(remove(g, F), S \ F)
+  // up to vertex relabeling — checked via edge counts and degrees.
+  Rng rng(909);
+  const Graph g = gnp(30, 0.2, rng);
+  std::vector<VertexId> subset;
+  for (VertexId v = 0; v < 20; ++v) subset.push_back(v);
+  const FaultSet faults{FaultModel::vertex, {3, 7, 11}};
+
+  const Graph removed_first = remove_fault_set(g, faults);
+  const Graph a = induced_subgraph(removed_first, subset);
+
+  const Graph induced_first = induced_subgraph(g, subset);
+  const Graph b = remove_fault_set(induced_first, faults);
+
+  ASSERT_EQ(a.n(), b.n());
+  ASSERT_EQ(a.m(), b.m());
+  for (VertexId v = 0; v < a.n(); ++v) EXPECT_EQ(a.degree(v), b.degree(v));
+}
+
+}  // namespace
+}  // namespace ftspan

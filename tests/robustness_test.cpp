@@ -1,0 +1,220 @@
+// Degenerate and extreme inputs across the whole library: empty graphs,
+// singletons, stars, deep paths, dense cliques — the places where off-by-one
+// bugs live.
+
+#include <gtest/gtest.h>
+
+#include "core/batched_greedy.h"
+#include "core/greedy_exact.h"
+#include "core/lbc.h"
+#include "core/modified_greedy.h"
+#include "distrib/congest_bs.h"
+#include "distrib/congest_spanner.h"
+#include "distrib/decomposition.h"
+#include "distrib/local_spanner.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "spanner/add93_greedy.h"
+#include "spanner/baswana_sen.h"
+#include "test_util.h"
+
+namespace ftspan {
+namespace {
+
+// ----------------------------------------------------------- empty inputs
+
+TEST(Robustness, EmptyGraphEverywhere) {
+  const Graph g(0);
+  const SpannerParams params{.k = 2, .f = 1};
+  EXPECT_EQ(modified_greedy_spanner(g, params).spanner.n(), 0u);
+  EXPECT_EQ(exact_greedy_spanner(g, params).spanner.n(), 0u);
+  EXPECT_EQ(batched_greedy_spanner(g, params, 4).spanner.n(), 0u);
+  EXPECT_EQ(add93_greedy_spanner(g, 2).n(), 0u);
+  Rng rng(1);
+  EXPECT_EQ(baswana_sen_spanner(g, 2, rng).n(), 0u);
+  EXPECT_TRUE(verify_exhaustive(g, g, params).ok);
+}
+
+TEST(Robustness, EdgelessGraphEverywhere) {
+  const Graph g(5);
+  const SpannerParams params{.k = 2, .f = 2};
+  EXPECT_EQ(modified_greedy_spanner(g, params).spanner.m(), 0u);
+  EXPECT_TRUE(verify_exhaustive(g, Graph(5), params).ok);
+  EXPECT_TRUE(is_connected(Graph(0)));
+  std::size_t count = 0;
+  (void)connected_components(g, &count);
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(Robustness, SingleEdgeGraph) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  for (const auto model : {FaultModel::vertex, FaultModel::edge}) {
+    const SpannerParams params{.k = 3, .f = 2, .model = model};
+    const auto build = modified_greedy_spanner(g, params);
+    EXPECT_EQ(build.spanner.m(), 1u);
+    testing::expect_ft_spanner_exhaustive(g, build.spanner, params);
+  }
+}
+
+// --------------------------------------------------------- extreme shapes
+
+TEST(Robustness, StarGraphSpanners) {
+  // Stars are trees: every construction must return all edges.
+  const Graph g = star_graph(40);
+  const SpannerParams params{.k = 2, .f = 3};
+  EXPECT_EQ(modified_greedy_spanner(g, params).spanner.m(), g.m());
+  EXPECT_EQ(batched_greedy_spanner(g, params, 10).spanner.m(), g.m());
+  Rng rng(2);
+  EXPECT_EQ(baswana_sen_spanner(g, 2, rng).m(), g.m());
+}
+
+TEST(Robustness, DeepPathThroughDistributedStack) {
+  // A path has diameter n-1: decomposition must still terminate within its
+  // Delta budget by fragmenting into many clusters, and the LOCAL spanner
+  // must return the path itself.
+  const Graph g = path_graph(60);
+  distrib::LocalSpannerConfig config;
+  config.params = SpannerParams{.k = 2, .f = 1};
+  config.decomposition.seed = 3;
+  const auto build = distrib::local_ft_spanner(g, config);
+  EXPECT_EQ(build.spanner.m(), g.m());
+  testing::expect_ft_spanner_sampled(g, build.spanner, config.params, 30, 4);
+}
+
+TEST(Robustness, CongestBsOnPathAndClique) {
+  for (const Graph& g : {path_graph(30), complete_graph(16)}) {
+    const auto result = distrib::congest_baswana_sen(g, 2, 99);
+    EXPECT_TRUE(result.stats.completed);
+    EXPECT_GE(result.spanner.m(), g.n() - 1);  // spanning within components
+  }
+}
+
+TEST(Robustness, DenseCliqueHighFaults) {
+  const Graph g = complete_graph(12);
+  const SpannerParams params{.k = 2, .f = 5};
+  const auto build = modified_greedy_spanner(g, params);
+  // Min degree must exceed f for fault tolerance on a clique.
+  for (VertexId v = 0; v < g.n(); ++v)
+    EXPECT_GE(build.spanner.degree(v), 6u);
+  testing::expect_ft_spanner_sampled(g, build.spanner, params, 60, 5);
+}
+
+TEST(Robustness, FExceedsVertexCount) {
+  // More tolerated faults than vertices: algorithms must not crash, and the
+  // spanner is simply all of G (every edge is critical).
+  const Graph g = cycle_graph(6);
+  const SpannerParams params{.k = 2, .f = 100};
+  const auto build = modified_greedy_spanner(g, params);
+  EXPECT_EQ(build.spanner.m(), g.m());
+  const auto exact = exact_greedy_spanner(g, params);
+  EXPECT_EQ(exact.spanner.m(), g.m());
+}
+
+TEST(Robustness, HugeStretchParameter) {
+  // 2k-1 > diameter: the spanner degenerates to (f+1)-connectivity-ish
+  // maintenance; for f=0 a spanning forest suffices.
+  Rng rng(6);
+  const Graph g = gnp(40, 0.3, rng);
+  const auto build = modified_greedy_spanner(g, SpannerParams{.k = 50, .f = 0});
+  std::size_t comps = 0;
+  (void)connected_components(g, &comps);
+  EXPECT_EQ(build.spanner.m(), g.n() - comps);  // exactly a spanning forest
+}
+
+// ------------------------------------------------------------ LBC corners
+
+TEST(Robustness, LbcWithHugeAlpha) {
+  const Graph g = cycle_graph(8);
+  // alpha larger than any cut: must terminate via YES well before alpha+1
+  // sweeps (the cut saturates after two path removals).
+  const auto result = lbc_decide(g, 0, 4, 7, 1000);
+  EXPECT_TRUE(result.yes);
+  EXPECT_LE(result.sweeps, 4u);
+}
+
+TEST(Robustness, LbcOnDisconnectedTerminals) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto result = lbc_decide(g, 0, 2, 3, 1);
+  EXPECT_TRUE(result.yes);
+  EXPECT_TRUE(result.cut.ids.empty());
+}
+
+// -------------------------------------------------------- weighted quirks
+
+TEST(Robustness, ZeroWeightEdgesAreLegal) {
+  Graph g(4, true);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 3, 3.0);
+  const SpannerParams params{.k = 2, .f = 0};
+  const auto build = modified_greedy_spanner(g, params);
+  testing::expect_ft_spanner_exhaustive(g, build.spanner, params, "zero w");
+}
+
+TEST(Robustness, IdenticalWeightsMassTie) {
+  Rng rng(7);
+  Graph base = gnp(25, 0.3, rng);
+  Graph g(base.n(), true);
+  for (const auto& e : base.edges()) g.add_edge(e.u, e.v, 4.0);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = modified_greedy_spanner(g, params);
+  testing::expect_ft_spanner_sampled(g, build.spanner, params, 40, 8);
+}
+
+// -------------------------------------------------- distributed degenerate
+
+TEST(Robustness, DecompositionOnEdgelessGraph) {
+  const Graph g(6);
+  const auto d = distrib::build_decomposition(g, distrib::DecompositionConfig{});
+  for (const auto& part : d.partitions)
+    for (VertexId v = 0; v < g.n(); ++v)
+      EXPECT_EQ(part.center_of[v], v);  // everyone is its own singleton
+  EXPECT_EQ(d.uncovered_edges, 0u);
+}
+
+TEST(Robustness, CongestFtOnTinyDenseGraph) {
+  const Graph g = complete_graph(8);
+  distrib::CongestFtConfig config;
+  config.params = SpannerParams{.k = 2, .f = 2};
+  config.iteration_factor = 4.0;
+  config.seed = 9;
+  const auto result = distrib::congest_ft_spanner(g, config);
+  testing::expect_ft_spanner_sampled(g, result.spanner, config.params, 50, 10);
+}
+
+TEST(Robustness, LocalSpannerOnCompleteGraph) {
+  // One cluster likely swallows everything; the center solves K_n directly.
+  const Graph g = complete_graph(20);
+  distrib::LocalSpannerConfig config;
+  config.params = SpannerParams{.k = 2, .f = 1};
+  config.decomposition.seed = 11;
+  const auto build = distrib::local_ft_spanner(g, config);
+  testing::expect_ft_spanner_sampled(g, build.spanner, config.params, 50, 12);
+}
+
+// ------------------------------------------------------------- verifier
+
+TEST(Robustness, VerifierOnMismatchedVertexCountsThrows) {
+  const Graph g = cycle_graph(5);
+  const Graph h = cycle_graph(6);
+  EXPECT_THROW((void)verify_exhaustive(g, h, SpannerParams{.k = 2, .f = 1}),
+               std::invalid_argument);
+}
+
+TEST(Robustness, VerifierWithFEqualsZeroIsPlainStretch) {
+  const Graph g = cycle_graph(8);
+  Graph h(8);
+  for (VertexId v = 0; v + 1 < 8; ++v) h.add_edge(v, v + 1);
+  // Stretch of the missing edge {7,0} is 7 > 3: must fail with zero faults.
+  const auto report = verify_exhaustive(g, h, SpannerParams{.k = 2, .f = 0});
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.fault_sets_checked, 1u);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,229 @@
+// Tests for distrib/sim.h: message delivery semantics, round accounting,
+// CONGEST bandwidth enforcement.
+
+#include <gtest/gtest.h>
+
+#include "distrib/sim.h"
+#include "graph/generators.h"
+
+namespace ftspan::distrib {
+namespace {
+
+/// Floods a token from vertex 0; records the round each vertex first hears.
+class FloodProgram final : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.round() == 0 && ctx.id() == 0) heard_at_ = 0;
+    for (const auto& msg : ctx.inbox()) {
+      (void)msg;
+      if (heard_at_ < 0) heard_at_ = static_cast<int>(ctx.round());
+    }
+    if (heard_at_ >= 0 && !sent_) {
+      sent_ = true;
+      for (const auto& arc : ctx.neighbors()) {
+        Message m;
+        m.tag = 1;
+        m.bits = 8;  // tag only
+        ctx.send(arc.to, std::move(m));
+      }
+    }
+  }
+  [[nodiscard]] bool finished() const override { return sent_; }
+  int heard_at_ = -1;
+  bool sent_ = false;
+};
+
+TEST(Network, FloodReachesEveryVertexAtBfsDistance) {
+  const Graph g = path_graph(5);
+  Network net(g, ModelLimits::local());
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t v = 0; v < g.n(); ++v)
+    programs.push_back(std::make_unique<FloodProgram>());
+  net.install(std::move(programs));
+  const auto stats = net.run(20);
+  EXPECT_TRUE(stats.completed);
+  for (VertexId v = 0; v < g.n(); ++v)
+    EXPECT_EQ(static_cast<FloodProgram&>(net.program(v)).heard_at_,
+              static_cast<int>(v));
+  // 4 hops of progress + final settle round.
+  EXPECT_LE(stats.rounds, 7u);
+  EXPECT_EQ(stats.messages, 2u * g.m());  // every vertex floods once
+}
+
+TEST(Network, MessagesDeliverNextRound) {
+  // A 2-vertex ping: sender at round 0, receiver must see it at round 1.
+  class Ping final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.round() == 0 && ctx.id() == 0) {
+        Message m;
+        m.tag = 7;
+        m.bits = 8;
+        ctx.send(1, std::move(m));
+      }
+      for (const auto& msg : ctx.inbox()) {
+        received_round_ = static_cast<int>(ctx.round());
+        received_tag_ = msg.tag;
+        from_ = msg.from;
+      }
+    }
+    [[nodiscard]] bool finished() const override { return true; }
+    int received_round_ = -1;
+    std::uint32_t received_tag_ = 0;
+    VertexId from_ = kInvalidVertex;
+  };
+  Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g, ModelLimits::local());
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<Ping>());
+  programs.push_back(std::make_unique<Ping>());
+  net.install(std::move(programs));
+  (void)net.run(5);
+  const auto& receiver = static_cast<Ping&>(net.program(1));
+  EXPECT_EQ(receiver.received_round_, 1);
+  EXPECT_EQ(receiver.received_tag_, 7u);
+  EXPECT_EQ(receiver.from_, 0u);
+}
+
+TEST(Network, SendToNonNeighborThrows) {
+  class Bad final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.id() == 0) {
+        Message m;
+        m.bits = 8;
+        ctx.send(2, std::move(m));  // not adjacent on a path 0-1-2
+      }
+    }
+    [[nodiscard]] bool finished() const override { return true; }
+  };
+  const Graph g = path_graph(3);
+  Network net(g, ModelLimits::local());
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (int i = 0; i < 3; ++i) programs.push_back(std::make_unique<Bad>());
+  net.install(std::move(programs));
+  EXPECT_THROW((void)net.run(2), std::invalid_argument);
+}
+
+TEST(Network, CongestEnforcesBandwidth) {
+  class Hog final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.round() == 0 && ctx.id() == 0) {
+        Message m;
+        m.words.assign(64, 0);  // way past B bits
+        m.bits = 8 + 64 * 64;
+        ctx.send(1, std::move(m));
+      }
+    }
+    [[nodiscard]] bool finished() const override { return true; }
+  };
+  Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g, ModelLimits::congest(2));
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<Hog>());
+  programs.push_back(std::make_unique<Hog>());
+  net.install(std::move(programs));
+  EXPECT_THROW((void)net.run(2), std::invalid_argument);
+}
+
+TEST(Network, CongestAllowsSmallMessages) {
+  class Polite final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.round() == 0)
+        for (const auto& arc : ctx.neighbors()) {
+          Message m;
+          m.words = {42};
+          m.bits = 8 + 8;  // tag + one byte payload, well under B = 16
+          ctx.send(arc.to, std::move(m));
+        }
+    }
+    [[nodiscard]] bool finished() const override { return true; }
+  };
+  const Graph g = complete_graph(8);
+  Network net(g, ModelLimits::congest(8));
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  for (std::size_t i = 0; i < 8; ++i)
+    programs.push_back(std::make_unique<Polite>());
+  net.install(std::move(programs));
+  const auto stats = net.run(4);
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.messages, 2u * g.m());
+  EXPECT_EQ(stats.max_edge_bits, 16u);
+}
+
+TEST(Network, MaxRoundsStopsRunaway) {
+  class Chatter final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      for (const auto& arc : ctx.neighbors()) {
+        Message m;
+        m.bits = 8;
+        ctx.send(arc.to, std::move(m));
+      }
+    }
+    [[nodiscard]] bool finished() const override { return false; }
+  };
+  Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g, ModelLimits::local());
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<Chatter>());
+  programs.push_back(std::make_unique<Chatter>());
+  net.install(std::move(programs));
+  const auto stats = net.run(10);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(stats.rounds, 10u);
+}
+
+TEST(Network, OverDeclaredBitsAreRejected) {
+  class Liar final : public NodeProgram {
+   public:
+    void on_round(NodeContext& ctx) override {
+      if (ctx.id() == 0) {
+        Message m;
+        m.words.assign(1, 1);
+        m.bits = 8 + 64 + 1;  // more bits than tag + payload can hold
+        ctx.send(1, std::move(m));
+      }
+    }
+    [[nodiscard]] bool finished() const override { return true; }
+  };
+  Graph g(2);
+  g.add_edge(0, 1);
+  Network net(g, ModelLimits::local());
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<Liar>());
+  programs.push_back(std::make_unique<Liar>());
+  net.install(std::move(programs));
+  EXPECT_THROW((void)net.run(2), std::invalid_argument);
+}
+
+TEST(ModelLimits, CongestBudgetScalesWithLogN) {
+  const auto small = ModelLimits::congest(16);
+  const auto large = ModelLimits::congest(1 << 16);
+  EXPECT_TRUE(small.bounded);
+  EXPECT_LT(small.bits_per_edge_round, large.bits_per_edge_round);
+  EXPECT_EQ(large.bits_per_edge_round, 64u);  // 4 * 16
+}
+
+TEST(BitsForUniverse, Rounding) {
+  EXPECT_EQ(bits_for_universe(2), 1u);
+  EXPECT_EQ(bits_for_universe(3), 2u);
+  EXPECT_EQ(bits_for_universe(1024), 10u);
+  EXPECT_EQ(bits_for_universe(1025), 11u);
+}
+
+TEST(Network, InstallRequiresOneProgramPerVertex) {
+  const Graph g = path_graph(3);
+  Network net(g, ModelLimits::local());
+  std::vector<std::unique_ptr<NodeProgram>> programs;
+  programs.push_back(std::make_unique<FloodProgram>());
+  EXPECT_THROW(net.install(std::move(programs)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftspan::distrib

@@ -1,0 +1,174 @@
+// Tests for src/graph/subgraph.h and src/graph/io.h.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/subgraph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+TEST(Subgraph, InducedKeepsInternalEdges) {
+  const Graph g = complete_graph(6);
+  const std::vector<VertexId> verts{1, 3, 5};
+  std::vector<VertexId> original;
+  const Graph sub = induced_subgraph(g, verts, &original);
+  EXPECT_EQ(sub.n(), 3u);
+  EXPECT_EQ(sub.m(), 3u);  // triangle
+  EXPECT_EQ(original, verts);
+}
+
+TEST(Subgraph, InducedDropsCrossEdges) {
+  const Graph g = path_graph(6);  // 0-1-2-3-4-5
+  const std::vector<VertexId> verts{0, 1, 4, 5};
+  const Graph sub = induced_subgraph(g, verts);
+  EXPECT_EQ(sub.m(), 2u);  // {0,1} and {4,5}
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(2, 3));  // local ids of 4,5
+}
+
+TEST(Subgraph, InducedRejectsDuplicates) {
+  const Graph g = path_graph(4);
+  const std::vector<VertexId> verts{1, 1};
+  EXPECT_THROW(induced_subgraph(g, verts), std::invalid_argument);
+}
+
+TEST(Subgraph, RemoveVertexFaultsPreservesIds) {
+  const Graph g = cycle_graph(5);
+  const FaultSet faults{FaultModel::vertex, {2}};
+  const Graph h = remove_fault_set(g, faults);
+  EXPECT_EQ(h.n(), 5u);  // id-preserving
+  EXPECT_EQ(h.m(), 3u);  // both edges at vertex 2 gone
+  EXPECT_FALSE(h.has_edge(1, 2));
+  EXPECT_FALSE(h.has_edge(2, 3));
+  EXPECT_TRUE(h.has_edge(0, 1));
+}
+
+TEST(Subgraph, RemoveEdgeFaults) {
+  const Graph g = cycle_graph(5);
+  const auto e = g.find_edge(0, 4);
+  ASSERT_TRUE(e.has_value());
+  const FaultSet faults{FaultModel::edge, {*e}};
+  const Graph h = remove_fault_set(g, faults);
+  EXPECT_EQ(h.m(), 4u);
+  EXPECT_FALSE(h.has_edge(0, 4));
+}
+
+TEST(Subgraph, EdgeSubgraphSelectsExactly) {
+  const Graph g = complete_graph(5);
+  const std::vector<EdgeId> ids{0, 3, 7};
+  const Graph h = edge_subgraph(g, ids);
+  EXPECT_EQ(h.n(), 5u);
+  EXPECT_EQ(h.m(), 3u);
+  for (const auto id : ids) {
+    const auto& e = g.edge(id);
+    EXPECT_TRUE(h.has_edge(e.u, e.v));
+  }
+}
+
+TEST(Subgraph, ConnectedComponentsCountsAndLabels) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  std::size_t count = 0;
+  const auto comp = connected_components(g, &count);
+  EXPECT_EQ(count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(Subgraph, ComponentsUnderFaults) {
+  const Graph g = path_graph(5);
+  Mask faults(5);
+  faults.set(2);
+  std::size_t count = 0;
+  const auto comp =
+      connected_components(g, &count, make_fault_view(&faults, nullptr));
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(comp[2], kInvalidVertex);
+}
+
+TEST(Subgraph, IsConnected) {
+  EXPECT_TRUE(is_connected(cycle_graph(4)));
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Subgraph, FaultMaskBuildsRightUniverse) {
+  const Graph g = cycle_graph(4);
+  const Mask vm = fault_mask(g, FaultSet{FaultModel::vertex, {1, 3}});
+  EXPECT_EQ(vm.universe(), 4u);
+  EXPECT_TRUE(vm.test(1));
+  const Mask em = fault_mask(g, FaultSet{FaultModel::edge, {0}});
+  EXPECT_EQ(em.universe(), 4u);
+  EXPECT_TRUE(em.test(0));
+  EXPECT_THROW(fault_mask(g, FaultSet{FaultModel::vertex, {9}}),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- IO
+
+TEST(Io, RoundTripUnweighted) {
+  Rng rng(21);
+  const Graph g = gnp(25, 0.2, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_EQ(back.n(), g.n());
+  ASSERT_EQ(back.m(), g.m());
+  for (const auto& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+}
+
+TEST(Io, RoundTripWeightedPreservesWeightsExactly) {
+  Rng rng(22);
+  const Graph g = with_uniform_weights(cycle_graph(10), 0.1, 9.9, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  ASSERT_TRUE(back.weighted());
+  ASSERT_EQ(back.m(), g.m());
+  for (EdgeId i = 0; i < g.m(); ++i)
+    EXPECT_DOUBLE_EQ(back.edge(i).w, g.edge(i).w);
+}
+
+TEST(Io, SkipsCommentsAndBlankLines) {
+  std::stringstream buffer("# a comment\n\nftspan 3 2 unweighted\n# mid\n0 1\n1 2\n");
+  const Graph g = read_edge_list(buffer);
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 2u);
+}
+
+TEST(Io, RejectsBadHeader) {
+  std::stringstream buffer("nonsense 3 2 unweighted\n0 1\n1 2\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(Io, RejectsTruncatedInput) {
+  std::stringstream buffer("ftspan 3 2 unweighted\n0 1\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(Io, RejectsMissingWeight) {
+  std::stringstream buffer("ftspan 3 1 weighted\n0 1\n");
+  EXPECT_THROW(read_edge_list(buffer), std::invalid_argument);
+}
+
+TEST(Io, FileSaveAndLoad) {
+  const Graph g = petersen_graph();
+  const std::string path = ::testing::TempDir() + "/ftspan_io_test.graph";
+  save_graph(path, g);
+  const Graph back = load_graph(path);
+  EXPECT_EQ(back.n(), 10u);
+  EXPECT_EQ(back.m(), 15u);
+  EXPECT_THROW(load_graph(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,66 @@
+// Shared fixtures and helpers for the ftspan test suite.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/options.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan::testing {
+
+/// A connected G(n,p) graph: retries seeds until connected (bounded).
+inline Graph connected_gnp(std::size_t n, double p, std::uint64_t seed) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Rng rng(seed + static_cast<std::uint64_t>(attempt) * 7919);
+    Graph g = gnp(n, p, rng);
+    std::size_t count = 0;
+    // local connectivity check to avoid pulling subgraph.h everywhere
+    std::vector<int> seen(n, 0);
+    std::vector<VertexId> queue{0};
+    seen[0] = 1;
+    std::size_t reached = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head)
+      for (const auto& arc : g.neighbors(queue[head]))
+        if (!seen[arc.to]) {
+          seen[arc.to] = 1;
+          ++reached;
+          queue.push_back(arc.to);
+        }
+    (void)count;
+    if (reached == n) return g;
+  }
+  ADD_FAILURE() << "could not generate a connected G(" << n << "," << p << ")";
+  return complete_graph(n);
+}
+
+/// Gtest-friendly wrapper: asserts that h is an f-FT (2k-1)-spanner of g by
+/// exhaustive enumeration (use only on small instances).
+inline void expect_ft_spanner_exhaustive(const Graph& g, const Graph& h,
+                                         const SpannerParams& params,
+                                         const std::string& context = {}) {
+  const StretchReport report = verify_exhaustive(g, h, params);
+  EXPECT_TRUE(report.ok) << context << " stretch violated: max_stretch="
+                         << report.max_stretch << " at pair ("
+                         << report.worst.u << "," << report.worst.v
+                         << ") with |F|=" << report.worst.faults.ids.size();
+}
+
+/// Sampled-verification variant for medium instances.
+inline void expect_ft_spanner_sampled(const Graph& g, const Graph& h,
+                                      const SpannerParams& params,
+                                      std::uint32_t trials, std::uint64_t seed,
+                                      const std::string& context = {}) {
+  Rng rng(seed);
+  const StretchReport report = verify_sampled(g, h, params, trials, rng);
+  EXPECT_TRUE(report.ok) << context << " stretch violated: max_stretch="
+                         << report.max_stretch << " at pair ("
+                         << report.worst.u << "," << report.worst.v << ")";
+}
+
+}  // namespace ftspan::testing

@@ -1,0 +1,98 @@
+// End-to-end sweep of the paper's pipeline across structured graph
+// families.  Different topologies stress Algorithm 2 differently: grids
+// have long girth-4 detours, hypercubes have many disjoint short paths,
+// preferential-attachment graphs have hubs, small-world graphs mix ring
+// lattices with shortcuts.  Every family must verify and respect the
+// Theorem 8 size bound.
+
+#include <gtest/gtest.h>
+
+#include "core/modified_greedy.h"
+#include "core/result.h"
+#include "graph/extremal.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+struct TopologyCase {
+  std::string name;
+  Graph graph;
+  std::uint32_t k;
+  std::uint32_t f;
+  FaultModel model;
+};
+
+std::vector<TopologyCase> topology_cases() {
+  std::vector<TopologyCase> cases;
+  Rng rng(0x70b0);
+
+  cases.push_back({"grid_8x8", grid_graph(8, 8), 2, 1, FaultModel::vertex});
+  cases.push_back({"grid_8x8_eft", grid_graph(8, 8), 2, 1, FaultModel::edge});
+  cases.push_back({"torus_7x7", torus_graph(7, 7), 2, 2, FaultModel::vertex});
+  cases.push_back(
+      {"hypercube_6", hypercube_graph(6), 2, 2, FaultModel::vertex});
+  cases.push_back(
+      {"hypercube_6_eft", hypercube_graph(6), 2, 2, FaultModel::edge});
+  cases.push_back({"petersen", petersen_graph(), 2, 1, FaultModel::vertex});
+  {
+    Rng r = rng.split();
+    cases.push_back(
+        {"barabasi_albert", barabasi_albert(100, 3, r), 2, 2,
+         FaultModel::vertex});
+  }
+  {
+    Rng r = rng.split();
+    cases.push_back({"watts_strogatz", watts_strogatz(100, 3, 0.2, r), 2, 1,
+                     FaultModel::vertex});
+  }
+  {
+    Rng r = rng.split();
+    cases.push_back(
+        {"random_regular_6", random_regular(80, 6, r), 2, 2,
+         FaultModel::vertex});
+  }
+  {
+    Rng r = rng.split();
+    std::vector<Point> pts;
+    Graph topo = random_geometric(90, 0.25, r, &pts);
+    cases.push_back({"geometric_weighted", with_euclidean_weights(topo, pts), 2,
+                     1, FaultModel::vertex});
+  }
+  cases.push_back({"heawood_pg22", projective_plane_incidence(2), 3, 1,
+                   FaultModel::vertex});
+  cases.push_back({"pg23_blowup", blowup_graph(projective_plane_incidence(2), 2),
+                   2, 1, FaultModel::vertex});
+  return cases;
+}
+
+class TopologySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologySweep, PipelineHoldsOnFamily) {
+  static const std::vector<TopologyCase> cases = topology_cases();
+  const auto& c = cases[GetParam()];
+  const SpannerParams params{.k = c.k, .f = c.f, .model = c.model};
+  const auto build = modified_greedy_spanner(c.graph, params);
+
+  // Size: within the Theorem 8 envelope (generous constant for small n).
+  EXPECT_LE(static_cast<double>(build.spanner.m()),
+            6.0 * theorem8_size_bound(c.graph.n(), c.k, c.f))
+      << c.name;
+  // Components preserved.
+  std::size_t gc = 0, hc = 0;
+  (void)connected_components(c.graph, &gc);
+  (void)connected_components(build.spanner, &hc);
+  EXPECT_EQ(gc, hc) << c.name;
+  // Fault tolerance, adversarially sampled.
+  testing::expect_ft_spanner_sampled(c.graph, build.spanner, params, 60,
+                                     GetParam() * 97 + 11, c.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TopologySweep,
+                         ::testing::Range<std::size_t>(0, 12));
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,135 @@
+// Tests for the weighted case (Algorithm 4 / Theorem 10), including the
+// ordering ablation: scanning by nondecreasing weight is what makes the
+// unweighted LBC test sound on weighted graphs.
+
+#include <gtest/gtest.h>
+
+#include "core/modified_greedy.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+using testing::expect_ft_spanner_exhaustive;
+using testing::expect_ft_spanner_sampled;
+
+/// The E12 gadget: two heavy 2-hop u-v paths plus a light direct edge.
+/// Scanning heaviest-first rejects the light edge (two fault-disjoint short
+/// *hop* paths exist) even though every detour is 20x heavier.
+Graph ordering_gadget() {
+  // u=0, v=1, x1=2, x2=3.
+  Graph g(4, /*weighted=*/true);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(2, 1, 10.0);
+  g.add_edge(0, 3, 10.0);
+  g.add_edge(3, 1, 10.0);
+  g.add_edge(0, 1, 1.0);
+  return g;
+}
+
+TEST(Weighted, SortedOrderIsCorrectOnTheGadget) {
+  const Graph g = ordering_gadget();
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = modified_greedy_spanner(g, params);  // by_weight default
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "gadget sorted");
+  EXPECT_TRUE(build.spanner.has_edge(0, 1));  // the light edge must survive
+}
+
+TEST(Weighted, DescendingOrderViolatesStretchOnTheGadget) {
+  const Graph g = ordering_gadget();
+  const SpannerParams params{.k = 2, .f = 1};
+  ModifiedGreedyConfig config;
+  config.order = EdgeOrder::by_weight_desc;
+  const auto build = modified_greedy_spanner(g, params, config);
+  // The light edge is rejected: H contains two fault-disjoint 2-hop paths.
+  EXPECT_FALSE(build.spanner.has_edge(0, 1));
+  // And that breaks the (2k-1)-stretch guarantee already at F = {}.
+  const auto report = verify_exhaustive(g, build.spanner, params);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GE(report.max_stretch, 20.0 / 3.0);
+}
+
+TEST(Weighted, UniformWeightsAnyOrderWorks) {
+  // With all weights equal, Algorithm 3's "arbitrary order" freedom comes
+  // back even though the graph is formally weighted.
+  Rng rng(80);
+  Graph base = testing::connected_gnp(11, 0.4, 800);
+  Graph g(base.n(), true);
+  for (const auto& e : base.edges()) g.add_edge(e.u, e.v, 2.5);
+  const SpannerParams params{.k = 2, .f = 1};
+  for (const auto order : {EdgeOrder::input, EdgeOrder::by_weight_desc}) {
+    ModifiedGreedyConfig config;
+    config.order = order;
+    const auto build = modified_greedy_spanner(g, params, config);
+    expect_ft_spanner_exhaustive(g, build.spanner, params, "uniform weights");
+  }
+}
+
+TEST(Weighted, RandomWeightedGraphsExhaustive) {
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(810 + trial);
+    const Graph g = with_uniform_weights(
+        testing::connected_gnp(10, 0.45, 820 + trial), 1.0, 10.0, rng);
+    const SpannerParams params{.k = 2, .f = 1};
+    const auto build = modified_greedy_spanner(g, params);
+    expect_ft_spanner_exhaustive(g, build.spanner, params,
+                                 "trial " + std::to_string(trial));
+  }
+}
+
+TEST(Weighted, RandomWeightedGraphsEdgeModel) {
+  Rng rng(83);
+  const Graph g =
+      with_uniform_weights(testing::connected_gnp(10, 0.45, 830), 0.5, 4.0, rng);
+  const SpannerParams params{.k = 2, .f = 1, .model = FaultModel::edge};
+  const auto build = modified_greedy_spanner(g, params);
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "weighted EFT");
+}
+
+TEST(Weighted, GeometricWorkloadSampled) {
+  Rng rng(84);
+  std::vector<Point> pts;
+  Graph topo = random_geometric(70, 0.3, rng, &pts);
+  const Graph g = with_euclidean_weights(topo, pts);
+  const SpannerParams params{.k = 2, .f = 2};
+  const auto build = modified_greedy_spanner(g, params);
+  expect_ft_spanner_sampled(g, build.spanner, params, 60, 840, "geometric");
+  EXPECT_LT(build.spanner.m(), g.m());  // it actually sparsifies
+}
+
+TEST(Weighted, ExtremeWeightScalesAreHandled) {
+  Rng rng(85);
+  const Graph g = with_uniform_weights(
+      testing::connected_gnp(10, 0.5, 850), 1e-6, 1e6, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = modified_greedy_spanner(g, params);
+  expect_ft_spanner_exhaustive(g, build.spanner, params, "extreme weights");
+}
+
+TEST(Weighted, TiedWeightsAreScannedStably) {
+  Graph g(4, true);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  const SpannerParams params{.k = 2, .f = 0};
+  const auto a = modified_greedy_spanner(g, params);
+  const auto b = modified_greedy_spanner(g, params);
+  EXPECT_EQ(a.picked, b.picked);  // stable sort => deterministic ties
+}
+
+TEST(Weighted, SpannerWeightIsBounded) {
+  // Total weight of H never exceeds G's.
+  Rng rng(86);
+  const Graph g = with_uniform_weights(
+      testing::connected_gnp(40, 0.25, 860), 1.0, 2.0, rng);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto build = modified_greedy_spanner(g, params);
+  EXPECT_LE(build.spanner.total_weight(), g.total_weight());
+}
+
+}  // namespace
+}  // namespace ftspan

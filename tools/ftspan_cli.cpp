@@ -1,0 +1,184 @@
+// ftspan_cli — build, verify, and inspect fault-tolerant spanners from the
+// command line.
+//
+//   ftspan_cli build  --in g.graph --out h.graph [--k 2] [--f 1]
+//                     [--model vertex|edge] [--algo modified|exact|dk11]
+//   ftspan_cli verify --in g.graph --spanner h.graph [--k 2] [--f 1]
+//                     [--model vertex|edge] [--trials 200] [--exhaustive]
+//   ftspan_cli info   --in g.graph
+//   ftspan_cli gen    --out g.graph --family gnp|geometric|grid|hypercube
+//                     [--n 256] [--p 0.1] [--seed 1] [--weighted]
+//
+// Graphs use the ftspan edge-list format (see src/graph/io.h).
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "analysis/girth.h"
+#include "core/greedy_exact.h"
+#include "core/modified_greedy.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/subgraph.h"
+#include "spanner/dk11.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace ftspan;
+
+int usage() {
+  std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
+               "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
+               " [--algo modified|exact|dk11] [--seed 1]\n"
+               "  verify --in G --spanner H [--k 2] [--f 1]"
+               " [--model vertex|edge] [--trials 200] [--exhaustive]\n"
+               "  info   --in G\n"
+               "  gen    --out G --family gnp|geometric|grid|hypercube"
+               " [--n 256] [--p 0.1] [--seed 1] [--weighted]\n";
+  return 2;
+}
+
+SpannerParams params_from(const Cli& cli) {
+  SpannerParams params;
+  params.k = static_cast<std::uint32_t>(cli.get_int("k", 2));
+  params.f = static_cast<std::uint32_t>(cli.get_int("f", 1));
+  const std::string model = cli.get("model", "vertex");
+  if (model == "vertex") {
+    params.model = FaultModel::vertex;
+  } else if (model == "edge") {
+    params.model = FaultModel::edge;
+  } else {
+    throw std::invalid_argument("--model must be vertex or edge");
+  }
+  params.validate();
+  return params;
+}
+
+int cmd_build(const Cli& cli) {
+  const Graph g = load_graph(cli.get("in", ""));
+  const SpannerParams params = params_from(cli);
+  const std::string algo = cli.get("algo", "modified");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  Graph h;
+  if (algo == "modified") {
+    auto build = modified_greedy_spanner(g, params);
+    std::cout << "modified greedy: " << build.stats.oracle_calls
+              << " LBC decisions, " << build.stats.seconds << " s\n";
+    h = std::move(build.spanner);
+  } else if (algo == "exact") {
+    auto build = exact_greedy_spanner(g, params);
+    std::cout << "exact greedy: " << build.stats.search_sweeps
+              << " search nodes, " << build.stats.seconds << " s\n";
+    h = std::move(build.spanner);
+  } else if (algo == "dk11") {
+    Rng rng(seed);
+    auto build = dk11_spanner(g, params, rng);
+    std::cout << "DK11: " << build.stats.oracle_calls << " iterations, "
+              << build.stats.seconds << " s\n";
+    h = std::move(build.spanner);
+  } else {
+    throw std::invalid_argument("--algo must be modified, exact, or dk11");
+  }
+
+  save_graph(cli.get("out", ""), h);
+  std::cout << "input   " << g.summary() << "\n"
+            << "spanner " << h.summary() << " ("
+            << (g.m() == 0 ? 100.0 : 100.0 * h.m() / g.m())
+            << "% of edges) written\n";
+  return 0;
+}
+
+int cmd_verify(const Cli& cli) {
+  const Graph g = load_graph(cli.get("in", ""));
+  const Graph h = load_graph(cli.get("spanner", ""));
+  const SpannerParams params = params_from(cli);
+  StretchReport report;
+  if (cli.has("exhaustive")) {
+    report = verify_exhaustive(g, h, params);
+  } else {
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    report = verify_sampled(
+        g, h, params, static_cast<std::uint32_t>(cli.get_int("trials", 200)),
+        rng);
+  }
+  std::cout << "checked " << report.fault_sets_checked << " fault sets, "
+            << report.pairs_checked << " pairs\n"
+            << "max stretch " << report.max_stretch << " (bound "
+            << params.stretch() << ")\n"
+            << (report.ok ? "OK: spanner property holds\n"
+                          : "VIOLATION: see worst pair below\n");
+  if (!report.ok) {
+    std::cout << "worst pair (" << report.worst.u << "," << report.worst.v
+              << ") d_G=" << report.worst.d_g << " d_H=" << report.worst.d_h
+              << " under " << report.worst.faults.ids.size() << " faults\n";
+  }
+  return report.ok ? 0 : 1;
+}
+
+int cmd_info(const Cli& cli) {
+  const Graph g = load_graph(cli.get("in", ""));
+  std::size_t components = 0;
+  (void)connected_components(g, &components);
+  std::cout << g.summary() << "\n"
+            << "max degree  " << g.max_degree() << "\n"
+            << "components  " << components << "\n"
+            << "total weight " << g.total_weight() << "\n";
+  const auto gr = girth(g);
+  std::cout << "girth       "
+            << (gr == kInfiniteGirth ? std::string("inf (forest)")
+                                     : std::to_string(gr))
+            << "\n";
+  return 0;
+}
+
+int cmd_gen(const Cli& cli) {
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 256));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string family = cli.get("family", "gnp");
+  Rng rng(seed);
+  Graph g;
+  std::vector<Point> pts;
+  if (family == "gnp") {
+    g = gnp(n, cli.get_double("p", 0.1), rng);
+  } else if (family == "geometric") {
+    g = random_geometric(n, cli.get_double("p", 0.15), rng, &pts);
+  } else if (family == "grid") {
+    const auto side = static_cast<std::size_t>(std::sqrt(double(n)));
+    g = grid_graph(side, side);
+  } else if (family == "hypercube") {
+    std::size_t dim = 0;
+    while ((std::size_t{1} << (dim + 1)) <= n) ++dim;
+    g = hypercube_graph(dim);
+  } else {
+    throw std::invalid_argument("--family must be gnp|geometric|grid|hypercube");
+  }
+  if (cli.has("weighted")) {
+    g = pts.empty() ? with_uniform_weights(g, 1.0, 10.0, rng)
+                    : with_euclidean_weights(g, pts);
+  }
+  save_graph(cli.get("out", ""), g);
+  std::cout << "wrote " << g.summary() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Cli cli(argc - 1, argv + 1);
+    if (command == "build") return cmd_build(cli);
+    if (command == "verify") return cmd_verify(cli);
+    if (command == "info") return cmd_info(cli);
+    if (command == "gen") return cmd_gen(cli);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
