@@ -1,93 +1,134 @@
 // E4 — Theorem 9 vs the exponential baseline: the modified greedy runs in
 // polynomial time O(m k f^{2-1/k} n^{1+1/k}) while Algorithm 1's decision
-// step is exponential in f.  Google-benchmark microbenchmarks:
-//   * BM_ModifiedGreedy/{n}/{f}: poly scaling in n and f,
-//   * BM_ExactGreedy/{n}/{f}: the baseline, feasible only on tiny inputs,
-//   * BM_LbcDecide: the inner Algorithm 2 oracle,
-//   * BM_Add93: the fault-free baseline for calibration.
+// step is exponential in f.
+//
+// Sweeps the modified greedy over growing (n, f, k) configs (plus the exact
+// greedy on tiny inputs for contrast), printing a human table and writing
+// machine-readable per-config results to BENCH_e4_runtime.json so successive
+// PRs can track the perf trajectory of the hot path.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "core/greedy_exact.h"
-#include "core/lbc.h"
 #include "core/modified_greedy.h"
-#include "graph/generators.h"
-#include "spanner/add93_greedy.h"
-#include "util/rng.h"
+#include "core/result.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace ftspan;
 
-Graph workload(std::size_t n, double avg_degree, std::uint64_t seed) {
-  Rng rng(seed);
-  const double p = std::min(1.0, avg_degree / static_cast<double>(n - 1));
-  return gnp(n, p, rng);
+struct RunResult {
+  std::string algo;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::uint32_t f = 0;
+  std::uint32_t k = 0;
+  std::size_t spanner_m = 0;
+  double seconds = 0.0;
+  std::uint64_t oracle_calls = 0;
+  std::uint64_t sweeps = 0;
+};
+
+/// Best-of-`reps` timing of one greedy build (min is the stablest statistic
+/// for a deterministic workload on a shared machine).
+RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
+                     std::uint32_t k, std::uint32_t reps, std::uint64_t seed) {
+  Rng rng(seed + n);
+  const Graph g = bench::gnp_with_degree(n, 16.0, rng);
+  RunResult out;
+  out.algo = algo;
+  out.n = n;
+  out.m = g.m();
+  out.f = f;
+  out.k = k;
+  out.seconds = std::numeric_limits<double>::infinity();
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    const Timer timer;
+    const SpannerBuild build =
+        algo == "exact"
+            ? exact_greedy_spanner(g, SpannerParams{.k = k, .f = f})
+            : modified_greedy_spanner(g, SpannerParams{.k = k, .f = f});
+    const double secs = timer.seconds();
+    if (secs < out.seconds) {
+      out.seconds = secs;
+      out.spanner_m = build.spanner.m();
+      out.oracle_calls = build.stats.oracle_calls;
+      out.sweeps = build.stats.search_sweeps;
+    }
+  }
+  return out;
 }
 
-void BM_ModifiedGreedy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto f = static_cast<std::uint32_t>(state.range(1));
-  const Graph g = workload(n, 16.0, 42 + n);
-  for (auto _ : state) {
-    auto build = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = f});
-    benchmark::DoNotOptimize(build.spanner.m());
+bool write_json(const std::string& path, const std::vector<RunResult>& results) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "  {\"algo\": \"" << r.algo << "\", \"n\": " << r.n
+        << ", \"m\": " << r.m << ", \"f\": " << r.f << ", \"k\": " << r.k
+        << ", \"spanner_m\": " << r.spanner_m << ", \"seconds\": " << r.seconds
+        << ", \"oracle_calls\": " << r.oracle_calls
+        << ", \"sweeps\": " << r.sweeps << "}" << (i + 1 < results.size() ? "," : "")
+        << "\n";
   }
-  state.counters["m"] = static_cast<double>(g.m());
+  out << "]\n";
+  return out.flush().good();
 }
-BENCHMARK(BM_ModifiedGreedy)
-    ->Args({128, 1})
-    ->Args({256, 1})
-    ->Args({512, 1})
-    ->Args({128, 2})
-    ->Args({128, 4})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_ExactGreedy(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto f = static_cast<std::uint32_t>(state.range(1));
-  const Graph g = workload(n, 8.0, 43 + n);
-  for (auto _ : state) {
-    auto build = exact_greedy_spanner(g, SpannerParams{.k = 2, .f = f});
-    benchmark::DoNotOptimize(build.spanner.m());
-  }
-}
-BENCHMARK(BM_ExactGreedy)
-    ->Args({16, 1})
-    ->Args({16, 2})
-    ->Args({16, 3})
-    ->Args({32, 1})
-    ->Args({32, 2})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_LbcDecide(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto alpha = static_cast<std::uint32_t>(state.range(1));
-  const Graph g = workload(n, 16.0, 44 + n);
-  LbcSolver solver;
-  VertexId u = 0;
-  for (auto _ : state) {
-    const VertexId v = static_cast<VertexId>(1 + (u + 7) % (n - 1));
-    auto result = solver.decide(g, u, v, 3, alpha);
-    benchmark::DoNotOptimize(result.yes);
-    u = (u + 1) % static_cast<VertexId>(n - 1);
-  }
-}
-BENCHMARK(BM_LbcDecide)
-    ->Args({256, 1})
-    ->Args({256, 4})
-    ->Args({256, 16})
-    ->Args({1024, 4})
-    ->Unit(benchmark::kMicrosecond);
-
-void BM_Add93(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const Graph g = workload(n, 16.0, 45 + n);
-  for (auto _ : state) {
-    auto h = add93_greedy_spanner(g, 2);
-    benchmark::DoNotOptimize(h.m());
-  }
-}
-BENCHMARK(BM_Add93)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftspan;
+  const Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto reps = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("reps", 3)));
+  const auto json_path = cli.get("out", "BENCH_e4_runtime.json");
+
+  bench::banner("E4 runtime",
+                "Theorem 9: modified greedy is polynomial while the exact "
+                "greedy's decision step is exponential in f",
+                seed);
+
+  std::vector<RunResult> results;
+  // Modified greedy: poly scaling in n and f.  The last config is the large
+  // one tracked for hot-path speedups across PRs.
+  const struct { std::size_t n; std::uint32_t f, k; } modified[] = {
+      {128, 1, 2},  {256, 1, 2}, {512, 1, 2},  {128, 2, 2},
+      {128, 4, 2},  {512, 2, 3}, {1024, 2, 2}, {2048, 2, 2},
+  };
+  for (const auto& c : modified)
+    results.push_back(run_config("modified", c.n, c.f, c.k, reps, seed));
+
+  // Exact greedy: the exponential baseline, feasible only on tiny inputs.
+  const struct { std::size_t n; std::uint32_t f, k; } exact[] = {
+      {16, 1, 2}, {16, 2, 2}, {32, 1, 2},
+  };
+  for (const auto& c : exact)
+    results.push_back(run_config("exact", c.n, c.f, c.k, reps, seed));
+
+  Table table({"algo", "n", "m(G)", "f", "k", "m(H)", "secs", "oracle-calls",
+               "sweeps"});
+  for (const auto& r : results)
+    table.add_row({r.algo, Table::num(r.n), Table::num(r.m),
+                   Table::num(static_cast<long long>(r.f)),
+                   Table::num(static_cast<long long>(r.k)),
+                   Table::num(r.spanner_m), Table::num(r.seconds, 4),
+                   Table::num(static_cast<long long>(r.oracle_calls)),
+                   Table::num(static_cast<long long>(r.sweeps))});
+  table.print(std::cout);
+
+  if (!write_json(json_path, results)) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -32,18 +32,23 @@ namespace {
 /// path always starts at `root` with all interior vertices > root; a cycle
 /// is reported when an edge returns to root and the direction is canonical
 /// (second vertex < last vertex), so each cycle appears exactly once.
+/// edge_path_[i] is the edge joining path_[i] and path_[i+1]; the closing
+/// arc's id is appended for the callback and popped right after.
 class CycleEnumerator {
  public:
-  CycleEnumerator(const Graph& h, std::uint32_t max_len,
-                  const std::function<bool(std::span<const VertexId>)>& fn)
+  CycleEnumerator(
+      const Graph& h, std::uint32_t max_len,
+      const std::function<bool(std::span<const VertexId>, std::span<const EdgeId>)>&
+          fn)
       : h_(h), max_len_(max_len), fn_(fn), on_path_(h.n()) {}
 
   void run() {
     for (VertexId root = 0; root < h_.n() && !stopped_; ++root) {
       path_.assign(1, root);
+      edge_path_.clear();
       on_path_.set(root);
       extend();
-      on_path_.reset_touched();
+      on_path_.clear(root);
     }
   }
 
@@ -57,27 +62,31 @@ class CycleEnumerator {
       if (x == path_.front()) {
         // Closing edge.  Need >= 3 vertices and canonical direction.
         if (path_.size() >= 3 && path_[1] < path_.back()) {
-          if (!fn_(path_)) stopped_ = true;
+          edge_path_.push_back(arc.edge);
+          if (!fn_(path_, edge_path_)) stopped_ = true;
+          edge_path_.pop_back();
         }
         continue;
       }
       if (x < path_.front() || on_path_.test(x)) continue;
       if (path_.size() >= max_len_) continue;  // would exceed the cap
       path_.push_back(x);
+      edge_path_.push_back(arc.edge);
       on_path_.set(x);
       extend();
       path_.pop_back();
-      // ScratchMask cannot reset one id; rebuild from the path.
-      on_path_.reset_touched();
-      for (const auto v : path_) on_path_.set(v);
+      edge_path_.pop_back();
+      on_path_.clear(x);  // O(1): x is the most recently set id
     }
   }
 
   const Graph& h_;
   std::uint32_t max_len_;
-  const std::function<bool(std::span<const VertexId>)>& fn_;
+  const std::function<bool(std::span<const VertexId>, std::span<const EdgeId>)>&
+      fn_;
   ScratchMask on_path_;
   std::vector<VertexId> path_;
+  std::vector<EdgeId> edge_path_;
   bool stopped_ = false;
 };
 
@@ -85,7 +94,8 @@ class CycleEnumerator {
 
 void for_each_short_cycle(
     const Graph& h, std::uint32_t max_len,
-    const std::function<bool(std::span<const VertexId>)>& fn) {
+    const std::function<bool(std::span<const VertexId>, std::span<const EdgeId>)>&
+        fn) {
   if (max_len < 3) return;
   CycleEnumerator(h, max_len, fn).run();
 }
@@ -102,16 +112,14 @@ std::optional<std::vector<VertexId>> find_unblocked_cycle(
 
   std::optional<std::vector<VertexId>> counterexample;
   ScratchMask on_cycle(h.n());
-  for_each_short_cycle(h, max_len, [&](std::span<const VertexId> cycle) {
+  for_each_short_cycle(h, max_len,
+                       [&](std::span<const VertexId> cycle,
+                           std::span<const EdgeId> edges) {
     on_cycle.reset_touched();
     for (const auto v : cycle) on_cycle.set(v);
     bool blocked = false;
-    for (std::size_t i = 0; i < cycle.size() && !blocked; ++i) {
-      const VertexId a = cycle[i];
-      const VertexId b = cycle[(i + 1) % cycle.size()];
-      const auto e = h.find_edge(a, b);
-      FTSPAN_ASSERT(e.has_value(), "cycle uses a non-edge");
-      for (const auto x : blockers_of_edge[*e]) {
+    for (std::size_t i = 0; i < edges.size() && !blocked; ++i) {
+      for (const auto x : blockers_of_edge[edges[i]]) {
         if (on_cycle.test(x)) {
           blocked = true;
           break;

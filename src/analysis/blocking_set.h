@@ -37,12 +37,15 @@ struct BlockingPair {
     const SpannerBuild& build);
 
 /// Enumerates every simple cycle of h with at most `max_len` vertices,
-/// invoking fn(cycle) with the vertex sequence (each cycle reported once,
-/// rooted at its smallest vertex).  fn returns false to stop early.
-/// Exponential in max_len; intended for small stretch values.
+/// invoking fn(cycle, edges) with the vertex sequence and the matching edge
+/// ids (edges[i] joins cycle[i] and cycle[(i+1) % size]; ids come from the
+/// enumerated arcs, so consumers need no find_edge lookups).  Each cycle is
+/// reported once, rooted at its smallest vertex; fn returns false to stop
+/// early.  Exponential in max_len; intended for small stretch values.
 void for_each_short_cycle(
     const Graph& h, std::uint32_t max_len,
-    const std::function<bool(std::span<const VertexId>)>& fn);
+    const std::function<bool(std::span<const VertexId>, std::span<const EdgeId>)>&
+        fn);
 
 /// Definition 2 check: does every cycle of length <= max_len contain some
 /// pair of B?  On failure returns the uncovered cycle.

@@ -13,34 +13,40 @@ struct FaultSetSearch::Frame {
   PathBound bound;
   ScratchMask mask;                   // current fault set as a mask
   std::vector<std::uint32_t> chosen;  // current fault set as a stack
-  std::vector<VertexId> path;         // scratch for the path oracle
+  std::vector<PathStep> path;         // scratch for the path oracle
   std::vector<std::uint32_t> best;    // minimize: best cut found so far
   std::uint32_t best_size = 0;        // minimize: prune bound (best.size() or cap+1)
   bool found_best = false;
+  /// Per-depth candidate scratch: the DFS visits exponentially many nodes,
+  /// so each depth's buffer is allocated once and reused across all
+  /// siblings instead of constructing a fresh vector per node.
+  std::vector<std::vector<std::uint32_t>> candidate_pool;
+
+  std::vector<std::uint32_t>& candidates_at(std::uint32_t depth) {
+    if (depth >= candidate_pool.size()) candidate_pool.resize(depth + 1);
+    return candidate_pool[depth];
+  }
 };
 
 namespace {
 
 /// Elements of `path` a blocking set may use: interior vertices (vertex
-/// model) or the path's edges (edge model).
-void branch_candidates(const Graph& g, FaultModel model,
-                       const std::vector<VertexId>& path,
+/// model) or the path's edges (edge model) — edge ids come straight from
+/// the path oracle's steps, no find_edge probes.
+void branch_candidates(FaultModel model, const std::vector<PathStep>& path,
                        std::vector<std::uint32_t>& out) {
   out.clear();
   if (model == FaultModel::vertex) {
-    for (std::size_t i = 1; i + 1 < path.size(); ++i) out.push_back(path[i]);
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) out.push_back(path[i].to);
   } else {
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      const auto e = g.find_edge(path[i], path[i + 1]);
-      FTSPAN_ASSERT(e.has_value(), "path oracle produced a non-edge");
-      out.push_back(*e);
-    }
+    for (std::size_t i = 1; i < path.size(); ++i) out.push_back(path[i].edge);
   }
 }
 
 }  // namespace
 
-bool FaultSetSearch::exists_dfs(Frame& fr, std::uint32_t remaining) {
+bool FaultSetSearch::exists_dfs(Frame& fr, std::uint32_t remaining,
+                                std::uint32_t depth) {
   ++nodes_;
   const FaultView faults = fr.mask.universe() == 0
                                ? FaultView{}
@@ -49,23 +55,21 @@ bool FaultSetSearch::exists_dfs(Frame& fr, std::uint32_t remaining) {
                                       : FaultView{{}, fr.mask.bytes()});
   const bool have_path =
       fr.bound.weighted_mode()
-          ? dijkstra_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
-                                    fr.bound.max_weight)
-          : bfs_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
-                               fr.bound.max_hops);
+          ? dijkstra_.shortest_path_arcs(*fr.g, fr.u, fr.v, fr.path, faults,
+                                         fr.bound.max_weight)
+          : bfs_.shortest_path_arcs(*fr.g, fr.u, fr.v, fr.path, faults,
+                                    fr.bound.max_hops);
   if (!have_path) return true;  // fr.chosen blocks everything
   if (remaining == 0) return false;
 
-  std::vector<std::uint32_t> candidates;
-  branch_candidates(*fr.g, model_, fr.path, candidates);
+  auto& candidates = fr.candidates_at(depth);
+  branch_candidates(model_, fr.path, candidates);
   for (const auto c : candidates) {
     fr.mask.set(c);
     fr.chosen.push_back(c);
-    if (exists_dfs(fr, remaining - 1)) return true;
+    if (exists_dfs(fr, remaining - 1, depth + 1)) return true;
     fr.chosen.pop_back();
-    // ScratchMask has no single-element reset; rebuild from the stack.
-    fr.mask.reset_touched();
-    for (const auto kept : fr.chosen) fr.mask.set(kept);
+    fr.mask.clear(c);  // O(1): c is the most recently set id
   }
   return false;
 }
@@ -78,10 +82,10 @@ void FaultSetSearch::minimize_dfs(Frame& fr, std::uint32_t used) {
                                : FaultView{{}, fr.mask.bytes()};
   const bool have_path =
       fr.bound.weighted_mode()
-          ? dijkstra_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
-                                    fr.bound.max_weight)
-          : bfs_.shortest_path(*fr.g, fr.u, fr.v, fr.path, faults,
-                               fr.bound.max_hops);
+          ? dijkstra_.shortest_path_arcs(*fr.g, fr.u, fr.v, fr.path, faults,
+                                         fr.bound.max_weight)
+          : bfs_.shortest_path_arcs(*fr.g, fr.u, fr.v, fr.path, faults,
+                                    fr.bound.max_hops);
   if (!have_path) {
     fr.best = fr.chosen;
     fr.best_size = used;
@@ -90,15 +94,14 @@ void FaultSetSearch::minimize_dfs(Frame& fr, std::uint32_t used) {
   }
   if (used + 1 >= fr.best_size) return;  // even one more element can't win
 
-  std::vector<std::uint32_t> candidates;
-  branch_candidates(*fr.g, model_, fr.path, candidates);
+  auto& candidates = fr.candidates_at(used);
+  branch_candidates(model_, fr.path, candidates);
   for (const auto c : candidates) {
     fr.mask.set(c);
     fr.chosen.push_back(c);
     minimize_dfs(fr, used + 1);
     fr.chosen.pop_back();
-    fr.mask.reset_touched();
-    for (const auto kept : fr.chosen) fr.mask.set(kept);
+    fr.mask.clear(c);  // O(1): c is the most recently set id
   }
 }
 
@@ -112,7 +115,7 @@ std::optional<FaultSet> FaultSetSearch::find_blocking_set(
   fr.v = v;
   fr.bound = bound;
   fr.mask.ensure_universe(model_ == FaultModel::vertex ? g.n() : g.m());
-  if (!exists_dfs(fr, max_faults)) return std::nullopt;
+  if (!exists_dfs(fr, max_faults, 0)) return std::nullopt;
   FaultSet out;
   out.model = model_;
   out.ids = fr.chosen;

@@ -74,7 +74,7 @@ class FaultSetSearch {
  private:
   struct Frame;  // internal search state
 
-  bool exists_dfs(Frame& fr, std::uint32_t remaining);
+  bool exists_dfs(Frame& fr, std::uint32_t remaining, std::uint32_t depth);
   void minimize_dfs(Frame& fr, std::uint32_t used);
 
   FaultModel model_;

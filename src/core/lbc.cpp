@@ -25,19 +25,17 @@ LbcResult LbcSolver::decide(const Graph& g, VertexId u, VertexId v,
   for (std::uint32_t i = 0; i <= alpha; ++i) {
     ++result.sweeps;
     ++total_sweeps_;
-    if (!bfs_.shortest_path(g, u, v, path_, faults, t)) {
+    if (!bfs_.shortest_path_arcs(g, u, v, path_, faults, t)) {
       result.yes = true;
       break;
     }
     if (model_ == FaultModel::vertex) {
       // Interior vertices only; u and v may never be cut.
-      for (std::size_t j = 1; j + 1 < path_.size(); ++j) vertex_cut_.set(path_[j]);
+      for (std::size_t j = 1; j + 1 < path_.size(); ++j)
+        vertex_cut_.set(path_[j].to);
     } else {
-      for (std::size_t j = 0; j + 1 < path_.size(); ++j) {
-        const auto edge = g.find_edge(path_[j], path_[j + 1]);
-        FTSPAN_ASSERT(edge.has_value(), "BFS path uses a non-edge");
-        edge_cut_.set(*edge);
-      }
+      // Every step after the source carries the edge it arrived over.
+      for (std::size_t j = 1; j < path_.size(); ++j) edge_cut_.set(path_[j].edge);
     }
   }
 

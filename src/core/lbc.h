@@ -55,7 +55,7 @@ class LbcSolver {
   BfsRunner bfs_;
   ScratchMask vertex_cut_;
   ScratchMask edge_cut_;
-  std::vector<VertexId> path_;
+  std::vector<PathStep> path_;
   std::uint64_t total_sweeps_ = 0;
 };
 

@@ -99,9 +99,7 @@ CongestFtResult congest_ft_spanner(const Graph& g, const CongestFtConfig& config
         inst.mail[v].clear();
         inst.programs[v]->on_round(inst.contexts[v]);
         for (auto& out : inst.contexts[v].take_outbox()) {
-          const auto edge = g.find_edge(v, out.to);
-          FTSPAN_ASSERT(edge.has_value(), "send() verified adjacency");
-          ++edge_load[static_cast<std::size_t>(*edge) * 2 + (v < out.to ? 0 : 1)];
+          ++edge_load[static_cast<std::size_t>(out.edge) * 2 + (v < out.to ? 0 : 1)];
           ++result.messages;
           out.msg.from = v;
           inst.next_mail[out.to].push_back(std::move(out.msg));

@@ -65,12 +65,15 @@ class NodeContext {
   }
 
   /// Queues a message to a neighbor; delivered at the start of next round.
-  /// Throws if `to` is not adjacent.
+  /// Throws if `to` is not adjacent.  Resolves the connecting edge id here
+  /// (one cache-linear row scan) so the drivers' per-message congestion
+  /// accounting is a plain array index, not a hash lookup.
   void send(VertexId to, Message msg);
 
   // --- driver API (Network / schedulers), not for node programs ---
   struct Outgoing {
     VertexId to;
+    EdgeId edge;  ///< id of the edge {sender, to}, resolved at send()
     Message msg;
   };
   void begin_round(std::uint32_t round, std::vector<Message> inbox);

@@ -73,7 +73,8 @@ FaultSet attack_high_degree(const Graph& g, const Graph& h, FaultModel model,
 FaultSet attack_neighborhood(const Graph& g, const Graph& h, FaultModel model,
                              std::uint32_t count, Rng& rng) {
   if (g.m() == 0) return attack_uniform(g, model, count, rng);
-  const auto& pivot = g.edge(static_cast<EdgeId>(rng.next_below(g.m())));
+  const auto pivot_id = static_cast<EdgeId>(rng.next_below(g.m()));
+  const auto& pivot = g.edge(pivot_id);
   FaultSet out{model, {}};
   if (model == FaultModel::vertex) {
     ScratchMask used(static_cast<std::uint32_t>(g.n()));
@@ -102,8 +103,7 @@ FaultSet attack_neighborhood(const Graph& g, const Graph& h, FaultModel model,
   }
   // Edge model: g-edges incident to the pivot's endpoints, except the pivot.
   ScratchMask used(static_cast<std::uint32_t>(g.m()));
-  const auto pivot_id = g.find_edge(pivot.u, pivot.v);
-  if (pivot_id) used.set(*pivot_id);
+  used.set(pivot_id);
   for (const VertexId center : {pivot.u, pivot.v}) {
     for (const auto& arc : g.neighbors(center)) {
       if (out.ids.size() >= count) return out;
@@ -133,28 +133,29 @@ FaultSet attack_detour_hitting(const Graph& g, const Graph& h, FaultModel model,
   ScratchMask vmask(h.n());
   ScratchMask emask(h.m());
   FaultSet out{model, {}};
-  std::vector<VertexId> path;
+  std::vector<PathStep> path;
   while (out.ids.size() < count) {
     const FaultView view = model == FaultModel::vertex
                                ? FaultView{vmask.bytes(), {}}
                                : FaultView{{}, emask.bytes()};
-    if (!bfs.shortest_path(h, pivot.u, pivot.v, path, view)) break;
+    if (!bfs.shortest_path_arcs(h, pivot.u, pivot.v, path, view)) break;
     bool progressed = false;
     if (model == FaultModel::vertex) {
       for (std::size_t i = 1; i + 1 < path.size() && out.ids.size() < count; ++i) {
-        if (vmask.test(path[i])) continue;
-        vmask.set(path[i]);
-        out.ids.push_back(path[i]);
+        if (vmask.test(path[i].to)) continue;
+        vmask.set(path[i].to);
+        out.ids.push_back(path[i].to);
         progressed = true;
       }
     } else {
-      for (std::size_t i = 0; i + 1 < path.size() && out.ids.size() < count; ++i) {
-        // Record the fault as a g-edge id; mask the h-edge for the search.
-        const auto h_edge = h.find_edge(path[i], path[i + 1]);
-        FTSPAN_ASSERT(h_edge.has_value(), "detour uses a non-edge of H");
-        if (emask.test(*h_edge)) continue;
-        emask.set(*h_edge);
-        const auto g_edge = g.find_edge(path[i], path[i + 1]);
+      for (std::size_t i = 1; i < path.size() && out.ids.size() < count; ++i) {
+        // The step's edge id masks the h-edge for the search; the recorded
+        // fault is the matching g-edge id (an H-to-G hop, so one endpoint
+        // lookup — the only place this attack still resolves edges by
+        // endpoints, at most `count` times per generated set).
+        if (emask.test(path[i].edge)) continue;
+        emask.set(path[i].edge);
+        const auto g_edge = g.find_edge(path[i - 1].to, path[i].to);
         if (g_edge) {
           out.ids.push_back(*g_edge);
           progressed = true;

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -83,6 +84,22 @@ class ScratchMask {
   /// Ids set since the last reset, in insertion order.
   [[nodiscard]] std::span<const std::uint32_t> touched() const noexcept {
     return touched_;
+  }
+
+  /// Clears one set id (no-op when clear).  O(1) when ids are cleared in
+  /// LIFO order — the undo pattern of the branch-and-bound DFS searches,
+  /// which previously had to rebuild the whole mask from their chosen stack;
+  /// O(touched) for out-of-order clears.
+  void clear(std::uint32_t id) {
+    if (bits_[id] == 0) return;
+    bits_[id] = 0;
+    if (!touched_.empty() && touched_.back() == id) {
+      touched_.pop_back();
+      return;
+    }
+    const auto it = std::find(touched_.begin(), touched_.end(), id);
+    FTSPAN_ASSERT(it != touched_.end(), "set bit missing from touched list");
+    touched_.erase(it);
   }
 
   /// Clears exactly the touched ids (O(touched)).

@@ -7,7 +7,22 @@
 
 namespace ftspan {
 
-Graph::Graph(std::size_t n, bool weighted) : adj_(n), weighted_(weighted) {}
+namespace {
+
+/// Capacity for a freshly relocated row (geometric growth from 4).
+constexpr std::uint32_t grown_cap(std::uint32_t cap) noexcept {
+  return std::max<std::uint32_t>(4, cap * 2);
+}
+
+/// Capacity granted at compaction: the degree plus a little slack so the
+/// next few appends stay in place.
+constexpr std::uint32_t compacted_cap(std::uint32_t deg) noexcept {
+  return deg + std::max<std::uint32_t>(2, deg / 4);
+}
+
+}  // namespace
+
+Graph::Graph(std::size_t n, bool weighted) : rows_(n), weighted_(weighted) {}
 
 Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges, bool weighted) {
   Graph g(n, weighted);
@@ -22,6 +37,43 @@ std::uint64_t Graph::key(VertexId u, VertexId v) noexcept {
   return (hi << 32) | lo;
 }
 
+void Graph::relocate_row(VertexId v, std::uint32_t new_cap) {
+  Row& row = rows_[v];
+  const auto new_offset = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.resize(arcs_.size() + new_cap);
+  std::copy_n(arcs_.begin() + row.offset, row.deg, arcs_.begin() + new_offset);
+  dead_arcs_ += row.cap;
+  row.offset = new_offset;
+  row.cap = new_cap;
+}
+
+void Graph::compact() {
+  std::vector<Arc> packed;
+  std::size_t need = 0;
+  for (const auto& row : rows_) need += compacted_cap(row.deg);
+  packed.resize(need);
+  std::uint32_t offset = 0;
+  for (auto& row : rows_) {
+    std::copy_n(arcs_.begin() + row.offset, row.deg, packed.begin() + offset);
+    row.offset = offset;
+    row.cap = compacted_cap(row.deg);
+    offset += row.cap;
+  }
+  arcs_ = std::move(packed);
+  dead_arcs_ = 0;
+}
+
+void Graph::append_arc(VertexId v, const Arc& arc) {
+  Row& row = rows_[v];
+  if (row.deg == row.cap) {
+    relocate_row(v, grown_cap(row.cap));
+    if (dead_arcs_ * 2 > arcs_.size() && arcs_.size() > 1024) compact();
+  }
+  Row& r = rows_[v];  // compact() may have moved the row
+  arcs_[r.offset + r.deg] = arc;
+  ++r.deg;
+}
+
 EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
   FTSPAN_REQUIRE(u < n() && v < n(), "edge endpoint out of range");
   FTSPAN_REQUIRE(u != v, "self-loops are not allowed");
@@ -31,8 +83,8 @@ EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
 
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, w});
-  adj_[u].push_back(Arc{v, id, w});
-  adj_[v].push_back(Arc{u, id, w});
+  append_arc(u, Arc{v, id, w});
+  append_arc(v, Arc{u, id, w});
   return id;
 }
 
@@ -48,10 +100,10 @@ bool Graph::has_edge(VertexId u, VertexId v) const {
 
 std::optional<EdgeId> Graph::find_edge(VertexId u, VertexId v) const {
   if (!has_edge(u, v)) return std::nullopt;
-  // Scan the smaller adjacency list; has_edge already confirmed existence.
+  // Scan the smaller row; has_edge already confirmed existence.
   const VertexId base = degree(u) <= degree(v) ? u : v;
   const VertexId other = base == u ? v : u;
-  for (const auto& arc : adj_[base])
+  for (const auto& arc : neighbors(base))
     if (arc.to == other) return arc.edge;
   FTSPAN_ASSERT(false, "edge key present but arc missing");
 }
@@ -63,17 +115,18 @@ const Edge& Graph::edge(EdgeId id) const {
 
 std::span<const Arc> Graph::neighbors(VertexId v) const {
   FTSPAN_REQUIRE(v < n(), "vertex id out of range");
-  return adj_[v];
+  const Row& row = rows_[v];
+  return {arcs_.data() + row.offset, row.deg};
 }
 
 std::size_t Graph::degree(VertexId v) const {
   FTSPAN_REQUIRE(v < n(), "vertex id out of range");
-  return adj_[v].size();
+  return rows_[v].deg;
 }
 
 std::size_t Graph::max_degree() const noexcept {
-  std::size_t best = 0;
-  for (const auto& list : adj_) best = std::max(best, list.size());
+  std::uint32_t best = 0;
+  for (const auto& row : rows_) best = std::max(best, row.deg);
   return best;
 }
 
@@ -86,6 +139,7 @@ Weight Graph::total_weight() const noexcept {
 void Graph::reserve_edges(std::size_t m) {
   edges_.reserve(m);
   edge_keys_.reserve(m * 2);
+  arcs_.reserve(arcs_.size() + 2 * m);
 }
 
 std::string Graph::summary() const {

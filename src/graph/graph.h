@@ -1,9 +1,27 @@
-// Undirected simple graph with adjacency lists.
+// Undirected simple graph on a flat CSR (compressed sparse row) adjacency.
+//
+// Layout: one shared arc array plus a per-vertex row descriptor
+// {offset, degree, capacity}.  A vertex's arcs live contiguously at
+// [offset, offset + degree), so neighbors() is a single cache-linear slice
+// of one big buffer — the substrate the Θ(m·f) BFS/Dijkstra sweeps of the
+// greedy spanner algorithms run on.
+//
+// Rebuild policy (incremental appends stay amortized O(1)):
+//   * append into the row's spare capacity when there is any;
+//   * on row overflow, relocate just that row to the end of the arc array
+//     with doubled capacity (cost O(degree), amortized O(1) per append),
+//     leaving a dead hole behind;
+//   * when dead holes exceed half the arc array, compact: rewrite all rows
+//     in vertex order with a little slack each.  Compaction cost is O(n + m)
+//     and is amortized against the Ω(n + m) appends/relocations that created
+//     the holes, and it restores a fully vertex-ordered layout for searches.
 //
 // The vertex set is fixed at construction; edges can be appended, which is
 // exactly the mutation pattern of every spanner algorithm in this library
 // (they grow a subgraph H of a fixed G edge by edge).  Simplicity rules:
-// no self-loops, no parallel edges (add_edge enforces both).
+// no self-loops, no parallel edges (add_edge enforces both via a hash edge
+// index — the hash is confined to mutation/validation and stays out of the
+// search hot loops, which consume edge ids straight from the arcs).
 
 #pragma once
 
@@ -35,7 +53,7 @@ class Graph {
   static Graph from_edges(std::size_t n, std::span<const Edge> edges,
                           bool weighted = false);
 
-  [[nodiscard]] std::size_t n() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t n() const noexcept { return rows_.size(); }
   [[nodiscard]] std::size_t m() const noexcept { return edges_.size(); }
   [[nodiscard]] bool weighted() const noexcept { return weighted_; }
 
@@ -51,7 +69,8 @@ class Graph {
   /// True if the edge {u,v} exists (order-insensitive).
   [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
 
-  /// Id of edge {u,v}, if present.
+  /// Id of edge {u,v}, if present.  O(min degree) row scan; cold-path
+  /// convenience — hot paths should carry edge ids (see PathStep).
   [[nodiscard]] std::optional<EdgeId> find_edge(VertexId u, VertexId v) const;
 
   /// The edge with the given id.
@@ -61,6 +80,9 @@ class Graph {
   [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
 
   /// Arcs leaving `v` (one per incident edge), in insertion order.
+  /// The span is invalidated by ANY subsequent add_edge/ensure_edge — even
+  /// for unrelated vertices — because an append may relocate rows or compact
+  /// the shared arc array.  Re-fetch after every mutation.
   [[nodiscard]] std::span<const Arc> neighbors(VertexId v) const;
 
   [[nodiscard]] std::size_t degree(VertexId v) const;
@@ -78,9 +100,28 @@ class Graph {
   [[nodiscard]] std::string summary() const;
 
  private:
+  /// CSR row descriptor: arcs of vertex v live at
+  /// arcs_[offset .. offset + deg), with cap - deg spare slots behind them.
+  struct Row {
+    std::uint32_t offset = 0;
+    std::uint32_t deg = 0;
+    std::uint32_t cap = 0;
+  };
+
   static std::uint64_t key(VertexId u, VertexId v) noexcept;
 
-  std::vector<std::vector<Arc>> adj_;
+  /// Appends one arc to v's row, relocating/compacting per the policy above.
+  void append_arc(VertexId v, const Arc& arc);
+
+  /// Moves v's row to the end of arcs_ with capacity `new_cap`.
+  void relocate_row(VertexId v, std::uint32_t new_cap);
+
+  /// Rewrites all rows in vertex order, dropping dead holes.
+  void compact();
+
+  std::vector<Row> rows_;
+  std::vector<Arc> arcs_;
+  std::size_t dead_arcs_ = 0;  ///< hole space abandoned by relocations
   std::vector<Edge> edges_;
   std::unordered_set<std::uint64_t> edge_keys_;
   bool weighted_ = false;

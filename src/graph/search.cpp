@@ -19,20 +19,45 @@ FaultView make_fault_view(const Mask* vertices, const Mask* edges) {
 BfsRunner::BfsRunner(std::size_t n) { ensure(n); }
 
 void BfsRunner::ensure(std::size_t n) {
-  if (n > dist_.size()) {
-    dist_.resize(n);
-    parent_.resize(n);
-    stamp_.resize(n, 0);
-  }
+  if (n > node_.size()) node_.resize(n);
 }
 
 void BfsRunner::begin_epoch() {
   ++epoch_;
   if (epoch_ == 0) {  // wrapped: invalidate all stamps
-    std::fill(stamp_.begin(), stamp_.end(), 0);
+    for (auto& node : node_) node.stamp = 0;
     epoch_ = 1;
   }
   queue_.clear();
+}
+
+template <bool kCheckVertices, bool kCheckEdges>
+std::uint32_t BfsRunner::run_impl(const Graph& g, VertexId s, VertexId t,
+                                  const FaultView& faults,
+                                  std::uint32_t max_hops) {
+  Node* const node = node_.data();
+  node[s] = Node{0, epoch_, kInvalidVertex, kInvalidEdge};
+  queue_.push_back(s);
+
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const VertexId u = queue_[head];
+    const std::uint32_t du = node[u].dist;
+    if (u == t) return du;
+    if (du >= max_hops) continue;  // deeper vertices would exceed the limit
+    for (const auto& arc : g.neighbors(u)) {
+      if (node[arc.to].stamp == epoch_) continue;
+      if constexpr (kCheckEdges) {
+        if (!faults.edge_alive(arc.edge)) continue;
+      }
+      if constexpr (kCheckVertices) {
+        if (!faults.vertex_alive(arc.to)) continue;
+      }
+      node[arc.to] = Node{du + 1, epoch_, u, arc.edge};
+      queue_.push_back(arc.to);
+    }
+  }
+  if (t == kInvalidVertex) return kUnreachableHops;
+  return node[t].stamp == epoch_ ? node[t].dist : kUnreachableHops;
 }
 
 std::uint32_t BfsRunner::run(const Graph& g, VertexId s, VertexId t,
@@ -44,27 +69,13 @@ std::uint32_t BfsRunner::run(const Graph& g, VertexId s, VertexId t,
   if (!faults.vertex_alive(s)) return kUnreachableHops;
   if (t != kInvalidVertex && !faults.vertex_alive(t)) return kUnreachableHops;
 
-  dist_[s] = 0;
-  parent_[s] = kInvalidVertex;
-  stamp_[s] = epoch_;
-  queue_.push_back(s);
-
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const VertexId u = queue_[head];
-    const std::uint32_t du = dist_[u];
-    if (u == t) return du;
-    if (du >= max_hops) continue;  // deeper vertices would exceed the limit
-    for (const auto& arc : g.neighbors(u)) {
-      if (stamp_[arc.to] == epoch_) continue;
-      if (!faults.edge_alive(arc.edge) || !faults.vertex_alive(arc.to)) continue;
-      stamp_[arc.to] = epoch_;
-      dist_[arc.to] = du + 1;
-      parent_[arc.to] = u;
-      queue_.push_back(arc.to);
-    }
-  }
-  if (t == kInvalidVertex) return kUnreachableHops;
-  return stamp_[t] == epoch_ ? dist_[t] : kUnreachableHops;
+  // Dispatch once on the mask shape so the arc loop carries no dead checks.
+  const bool check_v = !faults.failed_vertices.empty();
+  const bool check_e = !faults.failed_edges.empty();
+  if (check_v && check_e) return run_impl<true, true>(g, s, t, faults, max_hops);
+  if (check_v) return run_impl<true, false>(g, s, t, faults, max_hops);
+  if (check_e) return run_impl<false, true>(g, s, t, faults, max_hops);
+  return run_impl<false, false>(g, s, t, faults, max_hops);
 }
 
 std::uint32_t BfsRunner::hop_distance(const Graph& g, VertexId s, VertexId t,
@@ -80,9 +91,24 @@ bool BfsRunner::shortest_path(const Graph& g, VertexId s, VertexId t,
   const std::uint32_t d = run(g, s, t, faults, max_hops);
   if (d > max_hops || d == kUnreachableHops) return false;
   out.clear();
-  for (VertexId v = t; v != kInvalidVertex; v = parent_[v]) out.push_back(v);
+  for (VertexId v = t; v != kInvalidVertex; v = node_[v].parent) out.push_back(v);
   std::reverse(out.begin(), out.end());
   FTSPAN_ASSERT(out.front() == s && out.back() == t, "path endpoints mismatch");
+  return true;
+}
+
+bool BfsRunner::shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
+                                   std::vector<PathStep>& out,
+                                   const FaultView& faults,
+                                   std::uint32_t max_hops) {
+  const std::uint32_t d = run(g, s, t, faults, max_hops);
+  if (d > max_hops || d == kUnreachableHops) return false;
+  out.clear();
+  for (VertexId v = t; v != kInvalidVertex; v = node_[v].parent)
+    out.push_back(PathStep{v, node_[v].parent_arc});
+  std::reverse(out.begin(), out.end());
+  FTSPAN_ASSERT(out.front().to == s && out.back().to == t,
+                "path endpoints mismatch");
   return true;
 }
 
@@ -91,7 +117,8 @@ void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>&
   run(g, s, kInvalidVertex, faults, max_hops);
   out.assign(g.n(), kUnreachableHops);
   for (VertexId v = 0; v < g.n(); ++v)
-    if (stamp_[v] == epoch_ && dist_[v] <= max_hops) out[v] = dist_[v];
+    if (node_[v].stamp == epoch_ && node_[v].dist <= max_hops)
+      out[v] = node_[v].dist;
 }
 
 // ----------------------------------------------------------- DijkstraRunner
@@ -102,6 +129,7 @@ void DijkstraRunner::ensure(std::size_t n) {
   if (n > dist_.size()) {
     dist_.resize(n);
     parent_.resize(n);
+    parent_arc_.resize(n);
     stamp_.resize(n, 0);
     settled_.resize(n);
   }
@@ -128,6 +156,7 @@ Weight DijkstraRunner::run(const Graph& g, VertexId s, VertexId t,
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
   dist_[s] = 0.0;
   parent_[s] = kInvalidVertex;
+  parent_arc_[s] = kInvalidEdge;
   stamp_[s] = epoch_;
   settled_[s] = 0;
   heap.emplace(0.0, s);
@@ -148,6 +177,7 @@ Weight DijkstraRunner::run(const Graph& g, VertexId s, VertexId t,
         settled_[arc.to] = 0;
         dist_[arc.to] = cand;
         parent_[arc.to] = u;
+        parent_arc_[arc.to] = arc.edge;
         heap.emplace(cand, arc.to);
       }
     }
@@ -169,6 +199,19 @@ bool DijkstraRunner::shortest_path(const Graph& g, VertexId s, VertexId t,
   for (VertexId v = t; v != kInvalidVertex; v = parent_[v]) out.push_back(v);
   std::reverse(out.begin(), out.end());
   FTSPAN_ASSERT(out.front() == s && out.back() == t, "path endpoints mismatch");
+  return true;
+}
+
+bool DijkstraRunner::shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
+                                        std::vector<PathStep>& out,
+                                        const FaultView& faults, Weight budget) {
+  if (run(g, s, t, faults, budget) == kUnreachableWeight) return false;
+  out.clear();
+  for (VertexId v = t; v != kInvalidVertex; v = parent_[v])
+    out.push_back(PathStep{v, parent_arc_[v]});
+  std::reverse(out.begin(), out.end());
+  FTSPAN_ASSERT(out.front().to == s && out.back().to == t,
+                "path endpoints mismatch");
   return true;
 }
 

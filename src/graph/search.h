@@ -1,9 +1,16 @@
 // Shortest-path engines with fault masking.
 //
-// Both runners keep epoch-stamped per-vertex arrays, so repeated queries on
+// Both runners keep epoch-stamped per-vertex state, so repeated queries on
 // graphs with the same vertex count cost no O(n) re-initialization — the
 // greedy spanner algorithms issue Θ(m·f) of these queries on a growing
-// subgraph H, which makes this the hottest code in the library.
+// subgraph H, which makes this the hottest code in the library.  The BFS
+// engine packs {dist, stamp, parent, parent arc} into one 16-byte record so
+// each vertex visit touches a single cache line.
+//
+// Searches track parent *arcs*, not just parent vertices: the *_arcs path
+// overloads return (vertex, edge-id) steps, so callers that need the edges
+// of a path (cut accumulation, fault branching, congestion accounting) get
+// them for free instead of re-resolving every hop with Graph::find_edge.
 //
 // A runner is bound to a vertex-universe size, not to a particular graph:
 // the same runner may serve G and any subgraph H of G.
@@ -56,6 +63,13 @@ class BfsRunner {
                      std::vector<VertexId>& out, const FaultView& faults = {},
                      std::uint32_t max_hops = kUnreachableHops);
 
+  /// shortest_path, but as (vertex, edge-id) steps: out.front() == {s,
+  /// kInvalidEdge} and each later step names the edge it arrived over.
+  bool shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
+                          std::vector<PathStep>& out,
+                          const FaultView& faults = {},
+                          std::uint32_t max_hops = kUnreachableHops);
+
   /// Hop distances from s to every vertex (kUnreachableHops when
   /// unreachable), written into `out` (resized to g.n()).
   void all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>& out,
@@ -63,15 +77,24 @@ class BfsRunner {
                 std::uint32_t max_hops = kUnreachableHops);
 
  private:
+  /// Per-vertex search state, one cache-line-friendly record.
+  struct Node {
+    std::uint32_t dist = 0;
+    std::uint32_t stamp = 0;
+    VertexId parent = kInvalidVertex;
+    EdgeId parent_arc = kInvalidEdge;
+  };
+
   /// Runs BFS from s; stops early once t is settled.  Returns dist(t).
   std::uint32_t run(const Graph& g, VertexId s, VertexId t,
                     const FaultView& faults, std::uint32_t max_hops);
+  template <bool kCheckVertices, bool kCheckEdges>
+  std::uint32_t run_impl(const Graph& g, VertexId s, VertexId t,
+                         const FaultView& faults, std::uint32_t max_hops);
   void ensure(std::size_t n);
   void begin_epoch();
 
-  std::vector<std::uint32_t> dist_;
-  std::vector<VertexId> parent_;
-  std::vector<std::uint32_t> stamp_;
+  std::vector<Node> node_;
   std::vector<VertexId> queue_;
   std::uint32_t epoch_ = 0;
 };
@@ -93,6 +116,13 @@ class DijkstraRunner {
                      std::vector<VertexId>& out, const FaultView& faults = {},
                      Weight budget = kUnreachableWeight);
 
+  /// shortest_path as (vertex, edge-id) steps; see
+  /// BfsRunner::shortest_path_arcs.
+  bool shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
+                          std::vector<PathStep>& out,
+                          const FaultView& faults = {},
+                          Weight budget = kUnreachableWeight);
+
   /// Distances from s to all vertices into `out` (resized to g.n()).
   void all_distances(const Graph& g, VertexId s, std::vector<Weight>& out,
                      const FaultView& faults = {},
@@ -106,6 +136,7 @@ class DijkstraRunner {
 
   std::vector<Weight> dist_;
   std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_arc_;
   std::vector<std::uint32_t> stamp_;
   std::vector<std::uint8_t> settled_;
   std::uint32_t epoch_ = 0;

@@ -6,7 +6,8 @@
 namespace ftspan {
 
 Graph induced_subgraph(const Graph& g, std::span<const VertexId> verts,
-                       std::vector<VertexId>* original) {
+                       std::vector<VertexId>* original,
+                       std::vector<EdgeId>* edge_origin) {
   std::vector<VertexId> local(g.n(), kInvalidVertex);
   for (std::size_t i = 0; i < verts.size(); ++i) {
     FTSPAN_REQUIRE(verts[i] < g.n(), "induced_subgraph: vertex out of range");
@@ -15,9 +16,13 @@ Graph induced_subgraph(const Graph& g, std::span<const VertexId> verts,
     local[verts[i]] = static_cast<VertexId>(i);
   }
   Graph sub(verts.size(), g.weighted());
-  for (const auto& e : g.edges())
-    if (local[e.u] != kInvalidVertex && local[e.v] != kInvalidVertex)
-      sub.add_edge(local[e.u], local[e.v], e.w);
+  if (edge_origin != nullptr) edge_origin->clear();
+  for (EdgeId id = 0; id < g.m(); ++id) {
+    const auto& e = g.edge(id);
+    if (local[e.u] == kInvalidVertex || local[e.v] == kInvalidVertex) continue;
+    sub.add_edge(local[e.u], local[e.v], e.w);
+    if (edge_origin != nullptr) edge_origin->push_back(id);
+  }
   if (original != nullptr) original->assign(verts.begin(), verts.end());
   return sub;
 }

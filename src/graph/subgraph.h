@@ -18,11 +18,15 @@
 namespace ftspan {
 
 /// Induced subgraph on `verts` with vertices renumbered 0..verts.size()-1 in
-/// the given order.  When not null, *original receives the reverse mapping
-/// (local id -> id in g).  Duplicate entries in `verts` are rejected.
+/// the given order.  When not null, *original receives the reverse vertex
+/// mapping (local id -> id in g) and *edge_origin the reverse edge mapping
+/// (local edge id -> edge id in g), which lets callers report provenance
+/// without per-edge find_edge lookups on g.  Duplicate entries in `verts`
+/// are rejected.
 [[nodiscard]] Graph induced_subgraph(const Graph& g,
                                      std::span<const VertexId> verts,
-                                     std::vector<VertexId>* original = nullptr);
+                                     std::vector<VertexId>* original = nullptr,
+                                     std::vector<EdgeId>* edge_origin = nullptr);
 
 /// Copy of g without the faulted elements (id-preserving; failed vertices
 /// become isolated).  Fault ids must be in range.

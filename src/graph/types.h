@@ -40,6 +40,18 @@ struct Arc {
   Weight w = 1.0;
 };
 
+/// One step of a path in (vertex, via-edge) form: the path visits `to`,
+/// reached over edge `edge` from the previous step.  The first step carries
+/// the source vertex and kInvalidEdge.  Returned by the *_arcs path oracles
+/// so callers get edge ids for free instead of re-resolving every hop with
+/// Graph::find_edge.
+struct PathStep {
+  VertexId to = kInvalidVertex;
+  EdgeId edge = kInvalidEdge;
+
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+};
+
 /// Which failure model a fault-tolerant construction protects against
 /// (Definition 1 in the paper).
 enum class FaultModel : std::uint8_t {

@@ -40,8 +40,12 @@ SpannerBuild dk11_spanner(const Graph& g, const SpannerParams& params, Rng& rng,
   // which is exactly what the Theorem 13 union bound needs.
   const double participation = 1.0 / (params.f + 1.0);
 
+  // Provenance is tracked during the union: induced_subgraph reports each
+  // local edge's g-id, so no post-hoc find_edge pass over the spanner.
+  Mask in_spanner(g.m());
   std::vector<VertexId> sampled;
   std::vector<VertexId> original;
+  std::vector<EdgeId> edge_origin;
   for (std::uint32_t iter = 0; iter < iterations; ++iter) {
     ++build.stats.oracle_calls;
     sampled.clear();
@@ -49,21 +53,20 @@ SpannerBuild dk11_spanner(const Graph& g, const SpannerParams& params, Rng& rng,
       if (rng.next_bool(participation)) sampled.push_back(v);
     if (sampled.size() < 2) continue;
 
-    const Graph g_i = induced_subgraph(g, sampled, &original);
+    const Graph g_i = induced_subgraph(g, sampled, &original, &edge_origin);
     Rng inner_rng = rng.split();
     const Graph h_i = config.inner == Dk11Config::Inner::baswana_sen
                           ? baswana_sen_spanner(g_i, params.k, inner_rng)
                           : add93_greedy_spanner(g_i, params.k);
-    for (const auto& e : h_i.edges())
-      build.spanner.ensure_edge(original[e.u], original[e.v], e.w);
-  }
-
-  // Report provenance as g-edge ids (every spanner edge exists in g).
-  build.picked.reserve(build.spanner.m());
-  for (const auto& e : build.spanner.edges()) {
-    const auto id = g.find_edge(e.u, e.v);
-    FTSPAN_ASSERT(id.has_value(), "DK11 spanner edge missing from G");
-    build.picked.push_back(*id);
+    for (const auto& e : h_i.edges()) {
+      const auto local = g_i.find_edge(e.u, e.v);
+      FTSPAN_ASSERT(local.has_value(), "inner spanner edge missing from G_i");
+      const EdgeId id = edge_origin[*local];
+      if (in_spanner.test(id)) continue;
+      in_spanner.set(id);
+      build.spanner.add_edge(original[e.u], original[e.v], e.w);
+      build.picked.push_back(id);
+    }
   }
   build.stats.seconds = timer.seconds();
   return build;

@@ -52,7 +52,8 @@ TEST(Girth, RandomGraphsAgreeWithCycleEnumeration) {
     const Graph g = gnp(14, 0.25, rng);
     std::uint32_t shortest = kInfiniteGirth;
     analysis::for_each_short_cycle(g, 14,
-                                   [&](std::span<const VertexId> cycle) {
+                                   [&](std::span<const VertexId> cycle,
+                                       std::span<const EdgeId>) {
                                      shortest = std::min(
                                          shortest,
                                          static_cast<std::uint32_t>(cycle.size()));
@@ -67,14 +68,17 @@ TEST(Girth, RandomGraphsAgreeWithCycleEnumeration) {
 TEST(CycleEnumeration, TriangleCountOfK4) {
   int cycles3 = 0, cycles_all = 0;
   analysis::for_each_short_cycle(complete_graph(4), 3,
-                                 [&](std::span<const VertexId> c) {
+                                 [&](std::span<const VertexId> c,
+                                     std::span<const EdgeId> edges) {
                                    EXPECT_EQ(c.size(), 3u);
+                                   EXPECT_EQ(edges.size(), c.size());
                                    ++cycles3;
                                    return true;
                                  });
   EXPECT_EQ(cycles3, 4);  // C(4,3) triangles
   analysis::for_each_short_cycle(complete_graph(4), 4,
-                                 [&](std::span<const VertexId>) {
+                                 [&](std::span<const VertexId>,
+                                     std::span<const EdgeId>) {
                                    ++cycles_all;
                                    return true;
                                  });
@@ -84,7 +88,8 @@ TEST(CycleEnumeration, TriangleCountOfK4) {
 TEST(CycleEnumeration, ReportsEachCycleOnce) {
   int count = 0;
   analysis::for_each_short_cycle(cycle_graph(6), 6,
-                                 [&](std::span<const VertexId> c) {
+                                 [&](std::span<const VertexId> c,
+                                     std::span<const EdgeId>) {
                                    EXPECT_EQ(c.size(), 6u);
                                    ++count;
                                    return true;
@@ -95,7 +100,8 @@ TEST(CycleEnumeration, ReportsEachCycleOnce) {
 TEST(CycleEnumeration, EarlyStopWorks) {
   int count = 0;
   analysis::for_each_short_cycle(complete_graph(5), 5,
-                                 [&](std::span<const VertexId>) {
+                                 [&](std::span<const VertexId>,
+                                     std::span<const EdgeId>) {
                                    ++count;
                                    return count < 3;
                                  });
@@ -104,7 +110,8 @@ TEST(CycleEnumeration, EarlyStopWorks) {
 
 TEST(CycleEnumeration, RespectsLengthCap) {
   analysis::for_each_short_cycle(cycle_graph(8), 7,
-                                 [&](std::span<const VertexId>) {
+                                 [&](std::span<const VertexId>,
+                                     std::span<const EdgeId>) {
                                    ADD_FAILURE() << "C8 has no cycle <= 7";
                                    return true;
                                  });

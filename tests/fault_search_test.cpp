@@ -167,6 +167,53 @@ TEST(FaultSearch, MinimumIsNeverLargerThanAnyValidCut) {
   }
 }
 
+TEST(FaultSearch, DeepBacktrackingUndoesBranchesCorrectly) {
+  // Antipodal terminals on long cycles force the DFS deep (one cut vertex
+  // per side, explored after long runs of failed single-vertex branches),
+  // exercising the O(1) ScratchMask undo across many push/pop levels.  A
+  // stale bit left behind by a bad undo would block paths that are actually
+  // alive and corrupt the result.
+  for (std::size_t n : {10, 14, 18}) {
+    const Graph g = cycle_graph(n);
+    const auto v = static_cast<VertexId>(n / 2);
+    FaultSetSearch search;
+    const PathBound bound = PathBound::hops(static_cast<std::uint32_t>(n));
+
+    // One fault can never block both sides of the cycle...
+    EXPECT_FALSE(search.find_blocking_set(g, 0, v, bound, 1).has_value());
+    // ...two can, and the minimum says exactly two.
+    const auto pair_cut = search.find_blocking_set(g, 0, v, bound, 2);
+    ASSERT_TRUE(pair_cut.has_value());
+    EXPECT_EQ(pair_cut->ids.size(), 2u);
+    EXPECT_TRUE(blocks_all(g, 0, v, bound, *pair_cut));
+    const auto min_cut = search.find_minimum_cut(g, 0, v, bound, 4);
+    ASSERT_TRUE(min_cut.has_value());
+    EXPECT_EQ(min_cut->ids.size(), 2u);
+  }
+}
+
+TEST(FaultSearch, BacktrackingLeavesNoStaleStateAcrossQueries) {
+  // Re-using one FaultSetSearch across many queries on the same graph must
+  // give the same answers as fresh searchers: the frame masks are rebuilt
+  // per query, and the deep undo path must not leak set bits.
+  Rng rng(909);
+  FaultSetSearch shared;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnp(12, 0.3, rng);
+    const auto u = static_cast<VertexId>(rng.next_below(g.n()));
+    auto v = static_cast<VertexId>(rng.next_below(g.n()));
+    if (u == v) v = (v + 1) % static_cast<VertexId>(g.n());
+    const PathBound bound = PathBound::hops(3);
+    const auto got = shared.find_blocking_set(g, u, v, bound, 2);
+    FaultSetSearch fresh;
+    const auto expected = fresh.find_blocking_set(g, u, v, bound, 2);
+    ASSERT_EQ(got.has_value(), expected.has_value()) << "trial " << trial;
+    if (got.has_value()) {
+      EXPECT_EQ(got->ids, expected->ids);
+    }
+  }
+}
+
 TEST(FaultSearch, CountsSearchNodes) {
   const Graph g = cycle_graph(6);
   FaultSetSearch search;

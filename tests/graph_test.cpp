@@ -7,6 +7,7 @@
 
 #include "graph/fault_mask.h"
 #include "graph/graph.h"
+#include "util/rng.h"
 
 namespace ftspan {
 namespace {
@@ -190,6 +191,101 @@ TEST(ScratchMask, EnsureUniverseGrows) {
   EXPECT_TRUE(m.test(7));
   m.ensure_universe(4);  // never shrinks
   EXPECT_EQ(m.universe(), 8u);
+}
+
+TEST(ScratchMask, ClearInLifoOrder) {
+  ScratchMask m(10);
+  m.set(2);
+  m.set(5);
+  m.set(8);
+  m.clear(8);  // LIFO: pops the touched stack
+  EXPECT_FALSE(m.test(8));
+  EXPECT_EQ(m.touched().size(), 2u);
+  m.clear(5);
+  m.clear(2);
+  EXPECT_EQ(m.touched().size(), 0u);
+  EXPECT_FALSE(m.test(2));
+  EXPECT_FALSE(m.test(5));
+}
+
+TEST(ScratchMask, ClearOutOfOrderStillCorrect) {
+  ScratchMask m(10);
+  m.set(2);
+  m.set(5);
+  m.set(8);
+  m.clear(5);  // middle of the touched list
+  EXPECT_FALSE(m.test(5));
+  EXPECT_TRUE(m.test(2));
+  EXPECT_TRUE(m.test(8));
+  EXPECT_EQ(m.touched().size(), 2u);
+  m.reset_touched();
+  EXPECT_FALSE(m.test(2));
+  EXPECT_FALSE(m.test(8));
+}
+
+TEST(ScratchMask, ClearUnsetIdIsNoOp) {
+  ScratchMask m(10);
+  m.set(3);
+  m.clear(7);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_EQ(m.touched().size(), 1u);
+}
+
+TEST(ScratchMask, ClearThenSetAgainIsTracked) {
+  ScratchMask m(10);
+  m.set(4);
+  m.clear(4);
+  m.set(4);
+  EXPECT_TRUE(m.test(4));
+  EXPECT_EQ(m.touched().size(), 1u);
+  m.reset_touched();
+  EXPECT_FALSE(m.test(4));
+}
+
+// ----------------------------------------------------------- CSR stress
+
+TEST(Graph, SkewedAppendsKeepRowsConsistent) {
+  // Hammer one vertex's row so it relocates many times and the arc array
+  // accumulates holes past the compaction threshold.
+  const std::size_t n = 600;
+  Graph g(n);
+  for (VertexId v = 1; v < n; ++v) g.add_edge(0, v);
+  EXPECT_EQ(g.degree(0), n - 1);
+  const auto hub = g.neighbors(0);
+  ASSERT_EQ(hub.size(), n - 1);
+  for (std::size_t i = 0; i < hub.size(); ++i) {
+    EXPECT_EQ(hub[i].to, static_cast<VertexId>(i + 1));  // insertion order
+    EXPECT_EQ(hub[i].edge, static_cast<EdgeId>(i));
+    const auto leaf = g.neighbors(static_cast<VertexId>(i + 1));
+    ASSERT_EQ(leaf.size(), 1u);
+    EXPECT_EQ(leaf[0].to, 0u);
+    EXPECT_EQ(leaf[0].edge, static_cast<EdgeId>(i));
+  }
+}
+
+TEST(Graph, InterleavedGrowthMatchesEdgeList) {
+  // Round-robin appends across many rows: every row relocates at different
+  // times; the adjacency must stay exactly the edge list folded per vertex.
+  Rng rng(321);
+  const std::size_t n = 80;
+  Graph g(n);
+  std::vector<std::vector<std::pair<VertexId, EdgeId>>> expect(n);
+  for (int i = 0; i < 900; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(n));
+    const auto v = static_cast<VertexId>(rng.next_below(n));
+    if (u == v || g.has_edge(u, v)) continue;
+    const EdgeId id = g.add_edge(u, v);
+    expect[u].emplace_back(v, id);
+    expect[v].emplace_back(u, id);
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    const auto arcs = g.neighbors(v);
+    ASSERT_EQ(arcs.size(), expect[v].size()) << "vertex " << v;
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      EXPECT_EQ(arcs[i].to, expect[v][i].first);
+      EXPECT_EQ(arcs[i].edge, expect[v][i].second);
+    }
+  }
 }
 
 }  // namespace

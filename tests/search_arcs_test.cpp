@@ -1,0 +1,142 @@
+// Regression tests for the (vertex, edge-id) path oracles: on random graphs
+// under random fault masks, shortest_path_arcs must report exactly the path
+// of shortest_path, with every step's edge id agreeing with Graph::find_edge
+// on the step's endpoints — the contract the de-hashed hot paths (LBC, the
+// fault-set DFS, the detour attack) rely on.
+
+#include <gtest/gtest.h>
+
+#include "graph/fault_mask.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/search.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+/// Checks the arcs-path contract against the vertex path and find_edge.
+void expect_arcs_match(const Graph& g, std::span<const VertexId> path,
+                       std::span<const PathStep> steps) {
+  ASSERT_EQ(steps.size(), path.size());
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front().to, path.front());
+  EXPECT_EQ(steps.front().edge, kInvalidEdge);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].to, path[i]);
+    const auto id = g.find_edge(path[i - 1], path[i]);
+    ASSERT_TRUE(id.has_value()) << "path uses a non-edge";
+    EXPECT_EQ(steps[i].edge, *id) << "step " << i << " edge id mismatch";
+  }
+}
+
+/// Random fault mask over `universe` ids, each failed with probability p,
+/// never failing `keep_a` / `keep_b` (pass kInvalidVertex to skip).
+Mask random_mask(std::size_t universe, double p, Rng& rng,
+                 std::uint32_t keep_a = kInvalidVertex,
+                 std::uint32_t keep_b = kInvalidVertex) {
+  Mask mask(universe);
+  for (std::uint32_t id = 0; id < universe; ++id) {
+    if (id == keep_a || id == keep_b) continue;
+    if (rng.next_bool(p)) mask.set(id);
+  }
+  return mask;
+}
+
+TEST(SearchArcs, BfsAgreesWithFindEdgeUnderVertexFaults) {
+  Rng rng(9101);
+  BfsRunner bfs;
+  std::vector<VertexId> path;
+  std::vector<PathStep> steps;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = gnp(24, 0.18, rng);
+    const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.n()));
+    const Mask vmask = random_mask(g.n(), 0.2, rng, s, t);
+    const FaultView view = make_fault_view(&vmask, nullptr);
+    const bool has_v = bfs.shortest_path(g, s, t, path, view);
+    const bool has_a = bfs.shortest_path_arcs(g, s, t, steps, view);
+    ASSERT_EQ(has_v, has_a);
+    if (!has_v) continue;
+    expect_arcs_match(g, path, steps);
+    for (const auto& step : steps) EXPECT_FALSE(vmask.test(step.to));
+  }
+}
+
+TEST(SearchArcs, BfsAgreesWithFindEdgeUnderEdgeFaults) {
+  Rng rng(9102);
+  BfsRunner bfs;
+  std::vector<VertexId> path;
+  std::vector<PathStep> steps;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph g = gnp(24, 0.18, rng);
+    if (g.m() == 0) continue;
+    const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.n()));
+    const Mask emask = random_mask(g.m(), 0.25, rng);
+    const FaultView view = make_fault_view(nullptr, &emask);
+    const bool has_v = bfs.shortest_path(g, s, t, path, view);
+    const bool has_a = bfs.shortest_path_arcs(g, s, t, steps, view);
+    ASSERT_EQ(has_v, has_a);
+    if (!has_v) continue;
+    expect_arcs_match(g, path, steps);
+    for (std::size_t i = 1; i < steps.size(); ++i)
+      EXPECT_FALSE(emask.test(steps[i].edge)) << "path uses a failed edge";
+  }
+}
+
+TEST(SearchArcs, BfsRespectsHopBudget) {
+  Rng rng(9103);
+  BfsRunner bfs;
+  std::vector<PathStep> steps;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gnp(20, 0.2, rng);
+    const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.n()));
+    const std::uint32_t budget = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+    const std::uint32_t d = bfs.hop_distance(g, s, t, {}, budget);
+    const bool has = bfs.shortest_path_arcs(g, s, t, steps, {}, budget);
+    EXPECT_EQ(has, d != kUnreachableHops);
+    if (has) {
+      EXPECT_EQ(steps.size(), static_cast<std::size_t>(d) + 1);
+    }
+  }
+}
+
+TEST(SearchArcs, DijkstraAgreesWithFindEdgeUnderFaults) {
+  Rng rng(9104);
+  DijkstraRunner dijkstra;
+  std::vector<VertexId> path;
+  std::vector<PathStep> steps;
+  for (int trial = 0; trial < 40; ++trial) {
+    Graph base = gnp(22, 0.2, rng);
+    const Graph g = with_uniform_weights(base, 0.5, 3.0, rng);
+    if (g.m() == 0) continue;
+    const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+    const auto t = static_cast<VertexId>(rng.next_below(g.n()));
+    const Mask vmask = random_mask(g.n(), 0.15, rng, s, t);
+    const Mask emask = random_mask(g.m(), 0.15, rng);
+    const FaultView view = make_fault_view(&vmask, &emask);
+    const bool has_v = dijkstra.shortest_path(g, s, t, path, view);
+    const bool has_a = dijkstra.shortest_path_arcs(g, s, t, steps, view);
+    ASSERT_EQ(has_v, has_a);
+    if (!has_v) continue;
+    expect_arcs_match(g, path, steps);
+    // The steps' edge weights must sum to the reported distance.
+    Weight total = 0.0;
+    for (std::size_t i = 1; i < steps.size(); ++i) total += g.edge(steps[i].edge).w;
+    EXPECT_NEAR(total, dijkstra.distance(g, s, t, view), 1e-9);
+  }
+}
+
+TEST(SearchArcs, TrivialPathIsSingleSourceStep) {
+  const Graph g = path_graph(3);
+  BfsRunner bfs;
+  std::vector<PathStep> steps;
+  ASSERT_TRUE(bfs.shortest_path_arcs(g, 1, 1, steps));
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0], (PathStep{1, kInvalidEdge}));
+}
+
+}  // namespace
+}  // namespace ftspan
