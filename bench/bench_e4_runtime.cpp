@@ -3,9 +3,11 @@
 // step is exponential in f.
 //
 // Sweeps the modified greedy over growing (n, f, k) configs (plus the exact
-// greedy on tiny inputs for contrast), printing a human table and writing
-// machine-readable per-config results to BENCH_e4_runtime.json so successive
-// PRs can track the perf trajectory of the hot path.
+// greedy on tiny inputs for contrast), at one thread and — via --threads —
+// through the speculative-evaluate / sequential-commit engine (src/exec/),
+// printing a human table with per-config speedups and writing
+// machine-readable results to BENCH_e4_runtime.json so successive PRs can
+// track the perf trajectory of the hot path.
 
 #include <algorithm>
 #include <fstream>
@@ -18,6 +20,7 @@
 #include "core/greedy_exact.h"
 #include "core/modified_greedy.h"
 #include "core/result.h"
+#include "exec/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -30,16 +33,22 @@ struct RunResult {
   std::size_t m = 0;
   std::uint32_t f = 0;
   std::uint32_t k = 0;
+  std::uint32_t threads = 1;       // requested worker count
+  std::uint32_t threads_used = 1;  // after clamping to the hardware
   std::size_t spanner_m = 0;
   double seconds = 0.0;
+  double speedup = 1.0;  // vs the matching threads=1 row
   std::uint64_t oracle_calls = 0;
   std::uint64_t sweeps = 0;
+  std::uint64_t spec_evals = 0;
+  std::uint64_t spec_wasted_sweeps = 0;
 };
 
 /// Best-of-`reps` timing of one greedy build (min is the stablest statistic
 /// for a deterministic workload on a shared machine).
 RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
-                     std::uint32_t k, std::uint32_t reps, std::uint64_t seed) {
+                     std::uint32_t k, std::uint32_t threads, std::uint32_t reps,
+                     std::uint64_t seed) {
   Rng rng(seed + n);
   const Graph g = bench::gnp_with_degree(n, 16.0, rng);
   RunResult out;
@@ -48,19 +57,27 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
   out.m = g.m();
   out.f = f;
   out.k = k;
+  out.threads = threads;
+  // Oversubscribing a core measures scheduler noise, not the engine: clamp.
+  out.threads_used =
+      std::min(threads, exec::resolve_threads(0));
+  ModifiedGreedyConfig config;
+  config.exec.threads = out.threads_used;
   out.seconds = std::numeric_limits<double>::infinity();
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
     const Timer timer;
     const SpannerBuild build =
         algo == "exact"
             ? exact_greedy_spanner(g, SpannerParams{.k = k, .f = f})
-            : modified_greedy_spanner(g, SpannerParams{.k = k, .f = f});
+            : modified_greedy_spanner(g, SpannerParams{.k = k, .f = f}, config);
     const double secs = timer.seconds();
     if (secs < out.seconds) {
       out.seconds = secs;
       out.spanner_m = build.spanner.m();
       out.oracle_calls = build.stats.oracle_calls;
       out.sweeps = build.stats.search_sweeps;
+      out.spec_evals = build.stats.spec_evaluated;
+      out.spec_wasted_sweeps = build.stats.spec_wasted_sweeps;
     }
   }
   return out;
@@ -73,10 +90,14 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
     const auto& r = results[i];
     out << "  {\"algo\": \"" << r.algo << "\", \"n\": " << r.n
         << ", \"m\": " << r.m << ", \"f\": " << r.f << ", \"k\": " << r.k
+        << ", \"threads\": " << r.threads
+        << ", \"threads_used\": " << r.threads_used
         << ", \"spanner_m\": " << r.spanner_m << ", \"seconds\": " << r.seconds
+        << ", \"speedup\": " << r.speedup
         << ", \"oracle_calls\": " << r.oracle_calls
-        << ", \"sweeps\": " << r.sweeps << "}" << (i + 1 < results.size() ? "," : "")
-        << "\n";
+        << ", \"sweeps\": " << r.sweeps << ", \"spec_evals\": " << r.spec_evals
+        << ", \"spec_wasted_sweeps\": " << r.spec_wasted_sweeps << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";
   return out.flush().good();
@@ -90,12 +111,18 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const auto reps = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, cli.get_int("reps", 3)));
+  const auto threads = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, cli.get_int("threads", 1)));
   const auto json_path = cli.get("out", "BENCH_e4_runtime.json");
 
   bench::banner("E4 runtime",
                 "Theorem 9: modified greedy is polynomial while the exact "
                 "greedy's decision step is exponential in f",
                 seed);
+  if (threads > 1)
+    std::cout << "speculative engine: " << threads << " threads requested, "
+              << std::min(threads, exec::resolve_threads(0))
+              << " usable on this machine\n\n";
 
   std::vector<RunResult> results;
   // Modified greedy: poly scaling in n and f.  The last config is the large
@@ -105,24 +132,39 @@ int main(int argc, char** argv) {
       {128, 4, 2},  {512, 2, 3}, {1024, 2, 2}, {2048, 2, 2},
   };
   for (const auto& c : modified)
-    results.push_back(run_config("modified", c.n, c.f, c.k, reps, seed));
+    results.push_back(run_config("modified", c.n, c.f, c.k, 1, reps, seed));
+  if (threads > 1) {
+    for (const auto& c : modified) {
+      RunResult r = run_config("modified", c.n, c.f, c.k, threads, reps, seed);
+      // Speedup vs the matching sequential row emitted above.
+      for (const auto& base : results)
+        if (base.algo == "modified" && base.n == r.n && base.f == r.f &&
+            base.k == r.k && base.threads == 1)
+          r.speedup = base.seconds / r.seconds;
+      results.push_back(r);
+    }
+  }
 
   // Exact greedy: the exponential baseline, feasible only on tiny inputs.
   const struct { std::size_t n; std::uint32_t f, k; } exact[] = {
       {16, 1, 2}, {16, 2, 2}, {32, 1, 2},
   };
   for (const auto& c : exact)
-    results.push_back(run_config("exact", c.n, c.f, c.k, reps, seed));
+    results.push_back(run_config("exact", c.n, c.f, c.k, 1, reps, seed));
 
-  Table table({"algo", "n", "m(G)", "f", "k", "m(H)", "secs", "oracle-calls",
-               "sweeps"});
+  Table table({"algo", "n", "m(G)", "f", "k", "thr", "m(H)", "secs", "speedup",
+               "oracle-calls", "sweeps", "spec-evals", "wasted-sweeps"});
   for (const auto& r : results)
     table.add_row({r.algo, Table::num(r.n), Table::num(r.m),
                    Table::num(static_cast<long long>(r.f)),
                    Table::num(static_cast<long long>(r.k)),
+                   Table::num(static_cast<long long>(r.threads)),
                    Table::num(r.spanner_m), Table::num(r.seconds, 4),
+                   Table::num(r.speedup, 2),
                    Table::num(static_cast<long long>(r.oracle_calls)),
-                   Table::num(static_cast<long long>(r.sweeps))});
+                   Table::num(static_cast<long long>(r.sweeps)),
+                   Table::num(static_cast<long long>(r.spec_evals)),
+                   Table::num(static_cast<long long>(r.spec_wasted_sweeps))});
   table.print(std::cout);
 
   if (!write_json(json_path, results)) {

@@ -31,6 +31,15 @@ struct LbcResult {
   std::uint32_t sweeps = 0;
 };
 
+/// Read-set record of one decision, for speculative execution (src/exec/).
+struct LbcTrace {
+  /// Union over all sweeps of the vertices the BFS *expanded* (popped and
+  /// scanned), sorted ascending.  Appending an edge to g whose endpoints
+  /// both lie outside this set cannot change the decision: no sweep ever
+  /// reads the arc rows that grew, so a replay is bit-identical.
+  std::vector<VertexId> expanded;
+};
+
 /// Reusable Algorithm 2 engine.  Holds scratch masks and a BFS workspace so
 /// the modified greedy can issue Theta(m) decisions without reallocation.
 class LbcSolver {
@@ -42,8 +51,14 @@ class LbcSolver {
 
   /// Decides LBC(t, alpha) for terminals u, v on g.
   /// Requires u != v, both in range, t >= 1.
+  /// When `trace` is non-null, also records the decision's read set into it.
   LbcResult decide(const Graph& g, VertexId u, VertexId v, std::uint32_t t,
-                   std::uint32_t alpha);
+                   std::uint32_t alpha, LbcTrace* trace = nullptr);
+
+  /// Pre-sizes all scratch state for a graph with `n` vertices and up to `m`
+  /// edges, so subsequent decide() calls allocate nothing (per-thread arena
+  /// warm-up in src/exec/).
+  void reserve(std::size_t n, std::size_t m);
 
   /// Total BFS sweeps across all decisions (instrumentation).
   [[nodiscard]] std::uint64_t total_sweeps() const noexcept {
@@ -55,6 +70,7 @@ class LbcSolver {
   BfsRunner bfs_;
   ScratchMask vertex_cut_;
   ScratchMask edge_cut_;
+  ScratchMask trace_mark_;  ///< dedups expanded vertices across sweeps
   std::vector<PathStep> path_;
   std::uint64_t total_sweeps_ = 0;
 };

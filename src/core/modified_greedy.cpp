@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "core/lbc.h"
+#include "exec/speculative_greedy.h"
+#include "exec/thread_pool.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -44,6 +46,14 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   params.validate();
   const Timer timer;
   const auto order = scan_order(g, config.order, config.shuffle_seed);
+
+  const std::uint32_t threads = exec::resolve_threads(config.exec.threads);
+  if (threads > 1) {
+    SpannerBuild build =
+        exec::speculative_greedy_spanner(g, params, config, order, threads);
+    build.stats.seconds = timer.seconds();
+    return build;
+  }
 
   SpannerBuild build;
   build.spanner = Graph(g.n(), g.weighted());

@@ -29,6 +29,10 @@ struct ModifiedGreedyConfig {
   /// Record the LBC certificate F_e for every accepted edge (Lemma 6
   /// blocking-set analysis; costs memory, not time).
   bool record_certificates = false;
+  /// Parallel execution policy.  threads > 1 (or 0 = auto) routes the scan
+  /// through the speculative-evaluate / sequential-commit engine in
+  /// src/exec/, which picks the bit-identical edge set at any thread count.
+  ExecPolicy exec;
 };
 
 /// Runs the modified greedy (Algorithm 4; Algorithm 3 via config.order).

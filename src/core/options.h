@@ -20,6 +20,20 @@ enum class EdgeOrder : std::uint8_t {
   random,          ///< Uniform shuffle (valid for unweighted inputs).
 };
 
+/// Execution policy for engines that can evaluate independent oracle calls
+/// in parallel (currently the modified greedy; see src/exec/).  Every
+/// setting yields bit-identical results — the speculative engine commits
+/// decisions in scan order and re-evaluates any decision an accepted edge
+/// could have changed.
+struct ExecPolicy {
+  /// Worker threads the engine may use (the calling thread counts as one).
+  /// 1 = plain sequential scan; 0 = one worker per hardware thread.
+  std::uint32_t threads = 1;
+  /// Fixed speculation window size; 0 = adaptive (recommended — grows on
+  /// full commits, shrinks on invalidation aborts).
+  std::uint32_t window = 0;
+};
+
 /// Parameters of an f-fault-tolerant (2k-1)-spanner construction.
 struct SpannerParams {
   std::uint32_t k = 2;  ///< Stretch parameter; the spanner has stretch 2k-1.

@@ -17,9 +17,21 @@ struct SpannerBuildStats {
   /// modified greedy, fault-set searches for the exact greedy.
   std::uint64_t oracle_calls = 0;
   /// Individual BFS/Dijkstra sweeps performed inside those decisions.
+  /// The speculative engine counts only committed decisions here, so the
+  /// value matches the sequential engine at any thread count.
   std::uint64_t search_sweeps = 0;
   /// Wall-clock construction time.
   double seconds = 0.0;
+  /// Worker threads the engine used (1 = sequential scan).
+  std::uint32_t threads = 1;
+  /// Speculative evaluations issued by the parallel engine (0 when the
+  /// sequential engine ran).  oracle_calls / spec_evaluated is the
+  /// speculation hit rate.
+  std::uint64_t spec_evaluated = 0;
+  /// BFS sweeps spent on evaluations that an accepted edge invalidated.
+  std::uint64_t spec_wasted_sweeps = 0;
+  /// Evaluate/commit rounds the parallel engine ran.
+  std::uint64_t spec_windows = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

@@ -1,0 +1,25 @@
+// Per-worker search workspace for the parallel oracle engines.
+//
+// Each pool worker owns one arena: an LbcSolver (which itself holds the
+// BfsRunner, the scratch cut masks, and the path buffer) pre-sized for the
+// input graph, so the speculative hot path performs no allocation and no two
+// workers ever share mutable search state.  The spanner H being searched is
+// shared read-only during an evaluate phase and mutated only between phases.
+
+#pragma once
+
+#include "core/lbc.h"
+
+namespace ftspan::exec {
+
+/// One worker's private search state.
+struct SearchArena {
+  /// Pre-sizes every buffer for an n-vertex graph growing to at most m edges.
+  SearchArena(FaultModel model, std::size_t n, std::size_t m) : lbc(model) {
+    lbc.reserve(n, m);
+  }
+
+  LbcSolver lbc;
+};
+
+}  // namespace ftspan::exec

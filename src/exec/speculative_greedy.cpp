@@ -1,0 +1,112 @@
+#include "exec/speculative_greedy.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/lbc.h"
+#include "exec/search_arena.h"
+#include "exec/thread_pool.h"
+
+namespace ftspan::exec {
+
+namespace {
+
+/// One window slot: the speculative decision plus its read set.
+struct EvalSlot {
+  LbcResult result;
+  LbcTrace trace;
+};
+
+/// True when an edge accepted after this slot's evaluation could change its
+/// decision: some accepted endpoint lies in the slot's BFS read set, so a
+/// replay against the updated H might traverse the new edge.
+bool invalidated(const EvalSlot& slot, std::span<const VertexId> accepted) {
+  const auto& expanded = slot.trace.expanded;
+  for (const VertexId endpoint : accepted)
+    if (std::binary_search(expanded.begin(), expanded.end(), endpoint))
+      return true;
+  return false;
+}
+
+}  // namespace
+
+SpannerBuild speculative_greedy_spanner(const Graph& g,
+                                        const SpannerParams& params,
+                                        const ModifiedGreedyConfig& config,
+                                        std::span<const EdgeId> order,
+                                        std::uint32_t threads) {
+  if (threads < 1) threads = 1;
+
+  SpannerBuild build;
+  build.spanner = Graph(g.n(), g.weighted());
+  build.spanner.reserve_edges(g.m());
+  build.stats.threads = threads;
+  const std::uint32_t t = params.stretch();
+
+  ThreadPool pool(threads);
+  std::vector<SearchArena> arenas;
+  arenas.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w)
+    arenas.emplace_back(params.model, g.n(), g.m());
+
+  // Window schedule.  Any schedule yields identical picks; the adaptive one
+  // grows while speculation pays off and shrinks after invalidation aborts,
+  // which bounds wasted work in the accept-heavy early phase of the scan.
+  const bool adaptive = config.exec.window == 0;
+  const std::size_t min_window = std::max<std::size_t>(std::size_t{2} * threads, 4);
+  const std::size_t max_window = std::max<std::size_t>(min_window, 512);
+  std::size_t window = adaptive ? min_window : config.exec.window;
+
+  std::vector<EvalSlot> slots(std::min<std::size_t>(
+      adaptive ? max_window : window, std::max<std::size_t>(order.size(), 1)));
+  std::vector<VertexId> accepted;  // endpoints accepted this commit phase
+
+  std::size_t pos = 0;
+  while (pos < order.size()) {
+    const std::size_t w = std::min(window, order.size() - pos);
+    if (slots.size() < w) slots.resize(w);
+
+    // Evaluate phase: H is frozen; every worker reads it through its own
+    // arena and writes only its own slots.
+    ++build.stats.spec_windows;
+    build.stats.spec_evaluated += w;
+    pool.run(w, [&](unsigned worker, std::size_t i) {
+      const Edge& e = g.edge(order[pos + i]);
+      slots[i].result = arenas[worker].lbc.decide(build.spanner, e.u, e.v, t,
+                                                  params.f, &slots[i].trace);
+    });
+
+    // Commit phase, in scan order.  The first slot always commits: it was
+    // evaluated against exactly the H of its commit point.
+    accepted.clear();
+    std::size_t committed = 0;
+    for (; committed < w; ++committed) {
+      EvalSlot& slot = slots[committed];
+      if (!accepted.empty() && invalidated(slot, accepted)) break;
+      ++build.stats.oracle_calls;
+      build.stats.search_sweeps += slot.result.sweeps;
+      if (slot.result.yes) {
+        const EdgeId id = order[pos + committed];
+        const Edge& e = g.edge(id);
+        build.spanner.add_edge(e.u, e.v, e.w);
+        build.picked.push_back(id);
+        if (config.record_certificates)
+          build.certificates.push_back(std::move(slot.result.cut));
+        accepted.push_back(e.u);
+        accepted.push_back(e.v);
+      }
+    }
+    for (std::size_t i = committed; i < w; ++i)
+      build.stats.spec_wasted_sweeps += slots[i].result.sweeps;
+    pos += committed;
+
+    if (adaptive) {
+      window = committed == w ? std::min(window * 2, max_window)
+                              : std::max(window / 2, min_window);
+    }
+  }
+  return build;
+}
+
+}  // namespace ftspan::exec

@@ -1,0 +1,33 @@
+// Parallel modified greedy: speculative-evaluate / sequential-commit.
+//
+// The greedy scan order is the only sequential dependency in Algorithm 4 —
+// each LBC decision is a pure function of the spanner H at its commit point.
+// The engine evaluates a window of upcoming candidates in parallel against
+// the current H, then commits the results in scan order, stopping at the
+// first decision an accepted edge could have changed; those candidates are
+// re-speculated against the updated H in the next round.  Picks, certificates
+// and committed sweep counts are bit-identical to the sequential engine at
+// any thread count and any window schedule (see src/exec/README.md for the
+// invalidation argument).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/modified_greedy.h"
+#include "core/options.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ftspan::exec {
+
+/// Runs the speculative-evaluate / sequential-commit modified greedy over the
+/// given scan order with `threads` workers (>= 1; callers normally resolve
+/// config.exec.threads first).  stats.seconds is left for the caller to fill.
+[[nodiscard]] SpannerBuild speculative_greedy_spanner(
+    const Graph& g, const SpannerParams& params,
+    const ModifiedGreedyConfig& config, std::span<const EdgeId> order,
+    std::uint32_t threads);
+
+}  // namespace ftspan::exec

@@ -1,0 +1,89 @@
+#include "exec/thread_pool.h"
+
+namespace ftspan::exec {
+
+std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::uint32_t threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads - 1);
+  for (std::uint32_t w = 1; w < threads; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::work(unsigned worker, const Task& fn, std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(worker, i);
+    } catch (...) {
+      std::lock_guard lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const Task* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    work(worker, *job, n);
+    {
+      std::lock_guard lk(mu_);
+      --busy_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(std::size_t n, const Task& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Nothing to fan out; run inline (exceptions propagate directly).
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard lk(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    busy_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  work(0, fn, n);
+  std::unique_lock lk(mu_);
+  done_cv_.wait(lk, [&] { return busy_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    const std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ftspan::exec

@@ -1,0 +1,74 @@
+// Fork-join worker pool for the parallel oracle engines.
+//
+// The pool is built for the speculative greedy's phase structure: thousands
+// of short evaluate-rounds, each a parallel-for over a small window of oracle
+// calls, strictly alternating with sequential commit phases on the calling
+// thread.  Accordingly run() is synchronous (the caller participates as
+// worker 0 and returns only when every task finished), tasks are claimed one
+// at a time from an atomic counter (oracle calls vary wildly in cost, so
+// static chunking would stall the round on its slowest shard), and workers
+// persist across rounds parked on a condition variable.
+//
+// Memory model: everything a task writes is visible to the caller when run()
+// returns, and everything the caller wrote before run() is visible to the
+// tasks — the generation handshake is mutex-protected on both edges.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftspan::exec {
+
+/// Resolves an ExecPolicy thread request: 0 means one worker per hardware
+/// thread (at least 1); any other value is taken literally.
+[[nodiscard]] std::uint32_t resolve_threads(std::uint32_t requested) noexcept;
+
+/// Persistent fork-join pool of `threads` workers (the constructing thread
+/// counts as one, so `threads - 1` std::threads are spawned).
+class ThreadPool {
+ public:
+  /// fn(worker, index): worker is in [0, threads), index in [0, n).
+  using Task = std::function<void(unsigned worker, std::size_t index)>;
+
+  explicit ThreadPool(std::uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  [[nodiscard]] std::uint32_t threads() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size()) + 1;
+  }
+
+  /// Runs fn for every index in [0, n) across all workers; returns when all
+  /// are done.  Each index runs exactly once.  The first exception a task
+  /// throws is rethrown here (remaining tasks still run).  Must only be
+  /// called from the constructing thread, one run at a time.
+  void run(std::size_t n, const Task& fn);
+
+ private:
+  void worker_loop(unsigned worker);
+  void work(unsigned worker, const Task& fn, std::size_t n);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const Task* job_ = nullptr;     // guarded by mu_
+  std::size_t job_n_ = 0;         // guarded by mu_
+  std::uint64_t generation_ = 0;  // guarded by mu_
+  std::size_t busy_ = 0;          // guarded by mu_
+  bool stop_ = false;             // guarded by mu_
+  std::exception_ptr error_;      // guarded by mu_
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace ftspan::exec

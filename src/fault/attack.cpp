@@ -128,17 +128,25 @@ FaultSet attack_detour_hitting(const Graph& g, const Graph& h, FaultModel model,
   if (g.m() == 0) return attack_uniform(g, model, count, rng);
   const auto& pivot = g.edge(static_cast<EdgeId>(rng.next_below(g.m())));
   // Repeatedly kill the current shortest u-v detour in H (Algorithm 2's
-  // path-hitting move, aimed at the verifier's hardest pair).
+  // path-hitting move, aimed at the verifier's hardest pair).  The search
+  // runs on g with the non-spanner edges masked out — the identical edge set
+  // as searching h, but the arc path now carries g edge ids directly, so the
+  // per-hop loop never resolves an edge by endpoints.  Building the mask is
+  // one cold pass over g's edge list, amortized against the BFS sweeps below.
   BfsRunner bfs;
-  ScratchMask vmask(h.n());
-  ScratchMask emask(h.m());
+  ScratchMask vmask(g.n());
+  ScratchMask emask(g.m());  // masked = not in H, or already killed below
+  for (EdgeId id = 0; id < g.m(); ++id) {
+    const auto& e = g.edge(id);
+    if (!h.has_edge(e.u, e.v)) emask.set(id);
+  }
   FaultSet out{model, {}};
   std::vector<PathStep> path;
   while (out.ids.size() < count) {
     const FaultView view = model == FaultModel::vertex
-                               ? FaultView{vmask.bytes(), {}}
+                               ? FaultView{vmask.bytes(), emask.bytes()}
                                : FaultView{{}, emask.bytes()};
-    if (!bfs.shortest_path_arcs(h, pivot.u, pivot.v, path, view)) break;
+    if (!bfs.shortest_path_arcs(g, pivot.u, pivot.v, path, view)) break;
     bool progressed = false;
     if (model == FaultModel::vertex) {
       for (std::size_t i = 1; i + 1 < path.size() && out.ids.size() < count; ++i) {
@@ -149,17 +157,10 @@ FaultSet attack_detour_hitting(const Graph& g, const Graph& h, FaultModel model,
       }
     } else {
       for (std::size_t i = 1; i < path.size() && out.ids.size() < count; ++i) {
-        // The step's edge id masks the h-edge for the search; the recorded
-        // fault is the matching g-edge id (an H-to-G hop, so one endpoint
-        // lookup — the only place this attack still resolves edges by
-        // endpoints, at most `count` times per generated set).
         if (emask.test(path[i].edge)) continue;
         emask.set(path[i].edge);
-        const auto g_edge = g.find_edge(path[i - 1].to, path[i].to);
-        if (g_edge) {
-          out.ids.push_back(*g_edge);
-          progressed = true;
-        }
+        out.ids.push_back(path[i].edge);
+        progressed = true;
       }
     }
     if (!progressed) break;  // direct edge only (no interior): cannot extend

@@ -29,6 +29,7 @@ void BfsRunner::begin_epoch() {
     epoch_ = 1;
   }
   queue_.clear();
+  expanded_count_ = 0;
 }
 
 template <bool kCheckVertices, bool kCheckEdges>
@@ -38,13 +39,27 @@ std::uint32_t BfsRunner::run_impl(const Graph& g, VertexId s, VertexId t,
   Node* const node = node_.data();
   node[s] = Node{0, epoch_, kInvalidVertex, kInvalidEdge};
   queue_.push_back(s);
+  // With a concrete target, vertices landing exactly at max_hops can never be
+  // expanded, so only t itself is worth stamping at that depth.  Skipping the
+  // rest avoids writing the deepest — and by far largest — BFS level without
+  // changing any reported distance, parent, or path: the expansion sequence
+  // of shallower vertices is untouched, and t is still discovered by the same
+  // expander.  (all_hops passes t == kInvalidVertex and is exempt, since it
+  // must report the full last level.)
+  const bool prune_frontier = t != kInvalidVertex;
 
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
+  std::size_t head = 0;
+  for (; head < queue_.size(); ++head) {
     const VertexId u = queue_[head];
     const std::uint32_t du = node[u].dist;
-    if (u == t) return du;
-    if (du >= max_hops) continue;  // deeper vertices would exceed the limit
+    if (u == t) {
+      expanded_count_ = head;
+      return du;
+    }
+    if (du >= max_hops) break;  // queue distances are nondecreasing
+    const bool frontier_next = prune_frontier && du + 1 >= max_hops;
     for (const auto& arc : g.neighbors(u)) {
+      if (frontier_next && arc.to != t) continue;
       if (node[arc.to].stamp == epoch_) continue;
       if constexpr (kCheckEdges) {
         if (!faults.edge_alive(arc.edge)) continue;
@@ -56,6 +71,7 @@ std::uint32_t BfsRunner::run_impl(const Graph& g, VertexId s, VertexId t,
       queue_.push_back(arc.to);
     }
   }
+  expanded_count_ = head;
   if (t == kInvalidVertex) return kUnreachableHops;
   return node[t].stamp == epoch_ ? node[t].dist : kUnreachableHops;
 }
@@ -126,19 +142,13 @@ void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>&
 DijkstraRunner::DijkstraRunner(std::size_t n) { ensure(n); }
 
 void DijkstraRunner::ensure(std::size_t n) {
-  if (n > dist_.size()) {
-    dist_.resize(n);
-    parent_.resize(n);
-    parent_arc_.resize(n);
-    stamp_.resize(n, 0);
-    settled_.resize(n);
-  }
+  if (n > node_.size()) node_.resize(n);
 }
 
 void DijkstraRunner::begin_epoch() {
   ++epoch_;
   if (epoch_ == 0) {
-    std::fill(stamp_.begin(), stamp_.end(), 0);
+    for (auto& node : node_) node.stamp = 0;
     epoch_ = 1;
   }
 }
@@ -154,36 +164,31 @@ Weight DijkstraRunner::run(const Graph& g, VertexId s, VertexId t,
 
   using Item = std::pair<Weight, VertexId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  dist_[s] = 0.0;
-  parent_[s] = kInvalidVertex;
-  parent_arc_[s] = kInvalidEdge;
-  stamp_[s] = epoch_;
-  settled_[s] = 0;
+  Node* const node = node_.data();
+  node[s] = Node{0.0, kInvalidVertex, kInvalidEdge, epoch_, 0};
   heap.emplace(0.0, s);
 
   while (!heap.empty()) {
     const auto [du, u] = heap.top();
     heap.pop();
-    if (stamp_[u] != epoch_ || settled_[u] != 0 || du > dist_[u]) continue;
-    settled_[u] = 1;
+    if (node[u].stamp != epoch_ || node[u].settled != 0 || du > node[u].dist)
+      continue;
+    node[u].settled = 1;
     if (du > budget) break;
     if (u == t) return du;
     for (const auto& arc : g.neighbors(u)) {
       if (!faults.edge_alive(arc.edge) || !faults.vertex_alive(arc.to)) continue;
       const Weight cand = du + arc.w;
       if (cand > budget) continue;
-      if (stamp_[arc.to] != epoch_ || cand < dist_[arc.to]) {
-        stamp_[arc.to] = epoch_;
-        settled_[arc.to] = 0;
-        dist_[arc.to] = cand;
-        parent_[arc.to] = u;
-        parent_arc_[arc.to] = arc.edge;
+      if (node[arc.to].stamp != epoch_ || cand < node[arc.to].dist) {
+        node[arc.to] = Node{cand, u, arc.edge, epoch_, 0};
         heap.emplace(cand, arc.to);
       }
     }
   }
   if (t == kInvalidVertex) return kUnreachableWeight;
-  return (stamp_[t] == epoch_ && settled_[t] != 0) ? dist_[t] : kUnreachableWeight;
+  return (node[t].stamp == epoch_ && node[t].settled != 0) ? node[t].dist
+                                                           : kUnreachableWeight;
 }
 
 Weight DijkstraRunner::distance(const Graph& g, VertexId s, VertexId t,
@@ -196,7 +201,7 @@ bool DijkstraRunner::shortest_path(const Graph& g, VertexId s, VertexId t,
                                    const FaultView& faults, Weight budget) {
   if (run(g, s, t, faults, budget) == kUnreachableWeight) return false;
   out.clear();
-  for (VertexId v = t; v != kInvalidVertex; v = parent_[v]) out.push_back(v);
+  for (VertexId v = t; v != kInvalidVertex; v = node_[v].parent) out.push_back(v);
   std::reverse(out.begin(), out.end());
   FTSPAN_ASSERT(out.front() == s && out.back() == t, "path endpoints mismatch");
   return true;
@@ -207,8 +212,8 @@ bool DijkstraRunner::shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
                                         const FaultView& faults, Weight budget) {
   if (run(g, s, t, faults, budget) == kUnreachableWeight) return false;
   out.clear();
-  for (VertexId v = t; v != kInvalidVertex; v = parent_[v])
-    out.push_back(PathStep{v, parent_arc_[v]});
+  for (VertexId v = t; v != kInvalidVertex; v = node_[v].parent)
+    out.push_back(PathStep{v, node_[v].parent_arc});
   std::reverse(out.begin(), out.end());
   FTSPAN_ASSERT(out.front().to == s && out.back().to == t,
                 "path endpoints mismatch");
@@ -221,8 +226,9 @@ void DijkstraRunner::all_distances(const Graph& g, VertexId s,
   run(g, s, kInvalidVertex, faults, budget);
   out.assign(g.n(), kUnreachableWeight);
   for (VertexId v = 0; v < g.n(); ++v)
-    if (stamp_[v] == epoch_ && settled_[v] != 0 && dist_[v] <= budget)
-      out[v] = dist_[v];
+    if (node_[v].stamp == epoch_ && node_[v].settled != 0 &&
+        node_[v].dist <= budget)
+      out[v] = node_[v].dist;
 }
 
 }  // namespace ftspan

@@ -3,9 +3,9 @@
 // Both runners keep epoch-stamped per-vertex state, so repeated queries on
 // graphs with the same vertex count cost no O(n) re-initialization — the
 // greedy spanner algorithms issue Θ(m·f) of these queries on a growing
-// subgraph H, which makes this the hottest code in the library.  The BFS
-// engine packs {dist, stamp, parent, parent arc} into one 16-byte record so
-// each vertex visit touches a single cache line.
+// subgraph H, which makes this the hottest code in the library.  Both
+// engines pack their per-vertex state into a single record (16 bytes for
+// BFS, 24 for Dijkstra) so each vertex visit touches one cache line.
 //
 // Searches track parent *arcs*, not just parent vertices: the *_arcs path
 // overloads return (vertex, edge-id) steps, so callers that need the edges
@@ -76,6 +76,25 @@ class BfsRunner {
                 const FaultView& faults = {},
                 std::uint32_t max_hops = kUnreachableHops);
 
+  /// Vertices discovered (stamped) by the most recent search, in BFS order.
+  /// Valid until the next search on this runner.
+  [[nodiscard]] std::span<const VertexId> last_visited() const noexcept {
+    return queue_;
+  }
+
+  /// Prefix of last_visited() that was *expanded* (popped and its arc row
+  /// scanned).  This is the exact read set of the search on the graph's
+  /// adjacency: a replay after appending edges whose endpoints all lie
+  /// outside this set performs the identical computation — the invalidation
+  /// test of the speculative greedy engine (src/exec/).
+  [[nodiscard]] std::span<const VertexId> last_expanded() const noexcept {
+    return {queue_.data(), expanded_count_};
+  }
+
+  /// Pre-sizes the per-vertex state for graphs with up to `n` vertices so
+  /// the first search allocates nothing (per-thread arena warm-up).
+  void reserve(std::size_t n) { ensure(n); }
+
  private:
   /// Per-vertex search state, one cache-line-friendly record.
   struct Node {
@@ -96,6 +115,7 @@ class BfsRunner {
 
   std::vector<Node> node_;
   std::vector<VertexId> queue_;
+  std::size_t expanded_count_ = 0;
   std::uint32_t epoch_ = 0;
 };
 
@@ -129,16 +149,23 @@ class DijkstraRunner {
                      Weight budget = kUnreachableWeight);
 
  private:
+  /// Per-vertex search state packed into one record (24 bytes), mirroring the
+  /// BFS engine: each heap pop / relaxation touches a single cache line
+  /// instead of five parallel arrays.
+  struct Node {
+    Weight dist = 0.0;
+    VertexId parent = kInvalidVertex;
+    EdgeId parent_arc = kInvalidEdge;
+    std::uint32_t stamp = 0;
+    std::uint8_t settled = 0;
+  };
+
   Weight run(const Graph& g, VertexId s, VertexId t, const FaultView& faults,
              Weight budget);
   void ensure(std::size_t n);
   void begin_epoch();
 
-  std::vector<Weight> dist_;
-  std::vector<VertexId> parent_;
-  std::vector<EdgeId> parent_arc_;
-  std::vector<std::uint32_t> stamp_;
-  std::vector<std::uint8_t> settled_;
+  std::vector<Node> node_;
   std::uint32_t epoch_ = 0;
 };
 

@@ -9,7 +9,8 @@
 
 namespace ftspan {
 
-Graph add93_greedy_spanner(const Graph& g, std::uint32_t k) {
+Graph add93_greedy_spanner(const Graph& g, std::uint32_t k,
+                           std::vector<EdgeId>* picked) {
   FTSPAN_REQUIRE(k >= 1, "spanner requires k >= 1");
   std::vector<EdgeId> order(g.m());
   std::iota(order.begin(), order.end(), 0);
@@ -17,21 +18,29 @@ Graph add93_greedy_spanner(const Graph& g, std::uint32_t k) {
     return g.edge(a).w < g.edge(b).w;
   });
 
+  if (picked != nullptr) picked->clear();
   Graph h(g.n(), g.weighted());
+  const auto record = [&](EdgeId id) {
+    if (picked != nullptr) picked->push_back(id);
+  };
   const auto t = static_cast<Weight>(2 * k - 1);
   if (g.weighted()) {
     DijkstraRunner dijkstra(g.n());
     for (const auto id : order) {
       const auto& e = g.edge(id);
-      if (dijkstra.distance(h, e.u, e.v, {}, t * e.w) == kUnreachableWeight)
+      if (dijkstra.distance(h, e.u, e.v, {}, t * e.w) == kUnreachableWeight) {
         h.add_edge(e.u, e.v, e.w);
+        record(id);
+      }
     }
   } else {
     BfsRunner bfs(g.n());
     for (const auto id : order) {
       const auto& e = g.edge(id);
-      if (bfs.hop_distance(h, e.u, e.v, {}, 2 * k - 1) == kUnreachableHops)
+      if (bfs.hop_distance(h, e.u, e.v, {}, 2 * k - 1) == kUnreachableHops) {
         h.add_edge(e.u, e.v, e.w);
+        record(id);
+      }
     }
   }
   return h;

@@ -7,13 +7,19 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
+#include "graph/types.h"
 
 namespace ftspan {
 
 /// Builds the greedy (2k-1)-spanner of g.  Requires k >= 1.
-[[nodiscard]] Graph add93_greedy_spanner(const Graph& g, std::uint32_t k);
+/// When not null, *picked receives the g-edge id of every spanner edge,
+/// aligned with the returned graph's edge ids — native provenance, so
+/// callers (e.g. the DK11 union) never resolve edges by endpoints.
+[[nodiscard]] Graph add93_greedy_spanner(const Graph& g, std::uint32_t k,
+                                         std::vector<EdgeId>* picked = nullptr);
 
 /// The girth-based size bound the greedy satisfies: n^{1+1/k} + n
 /// (no hidden constant; a graph of girth > 2k has fewer than

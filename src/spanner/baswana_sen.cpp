@@ -41,9 +41,11 @@ struct ClusterBuckets {
 
 }  // namespace
 
-Graph baswana_sen_spanner(const Graph& g, std::uint32_t k, Rng& rng) {
+Graph baswana_sen_spanner(const Graph& g, std::uint32_t k, Rng& rng,
+                          std::vector<EdgeId>* picked) {
   FTSPAN_REQUIRE(k >= 1, "spanner requires k >= 1");
   const std::size_t n = g.n();
+  if (picked != nullptr) picked->clear();
   Graph h(n, g.weighted());
   if (n == 0) return h;
 
@@ -58,7 +60,11 @@ Graph baswana_sen_spanner(const Graph& g, std::uint32_t k, Rng& rng) {
 
   auto add_to_spanner = [&](EdgeId id) {
     const auto& e = g.edge(id);
+    const std::size_t before = h.m();
     h.ensure_edge(e.u, e.v, e.w);
+    // Record provenance only for genuinely new edges, keeping *picked
+    // aligned with h's edge ids.
+    if (picked != nullptr && h.m() > before) picked->push_back(id);
   };
 
   // Kills every alive v-edge whose other endpoint lies in `target_cluster`.

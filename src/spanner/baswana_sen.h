@@ -9,15 +9,21 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
+#include "graph/types.h"
 #include "util/rng.h"
 
 namespace ftspan {
 
 /// Builds a (2k-1)-spanner of g with expected O(k n^{1+1/k}) edges.
 /// Requires k >= 1 (k == 1 returns a copy of g, the only 1-spanner).
+/// When not null, *picked receives the g-edge id of every spanner edge,
+/// aligned with the returned graph's edge ids — native provenance, so
+/// callers (e.g. the DK11 union) never resolve edges by endpoints.
 [[nodiscard]] Graph baswana_sen_spanner(const Graph& g, std::uint32_t k,
-                                        Rng& rng);
+                                        Rng& rng,
+                                        std::vector<EdgeId>* picked = nullptr);
 
 }  // namespace ftspan

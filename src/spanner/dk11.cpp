@@ -40,12 +40,14 @@ SpannerBuild dk11_spanner(const Graph& g, const SpannerParams& params, Rng& rng,
   // which is exactly what the Theorem 13 union bound needs.
   const double participation = 1.0 / (params.f + 1.0);
 
-  // Provenance is tracked during the union: induced_subgraph reports each
-  // local edge's g-id, so no post-hoc find_edge pass over the spanner.
+  // Provenance is tracked end to end: induced_subgraph reports each local
+  // edge's g-id and the inner builders report their picks as local edge ids,
+  // so the union never resolves an edge by endpoints.
   Mask in_spanner(g.m());
   std::vector<VertexId> sampled;
   std::vector<VertexId> original;
   std::vector<EdgeId> edge_origin;
+  std::vector<EdgeId> inner_picked;
   for (std::uint32_t iter = 0; iter < iterations; ++iter) {
     ++build.stats.oracle_calls;
     sampled.clear();
@@ -55,15 +57,17 @@ SpannerBuild dk11_spanner(const Graph& g, const SpannerParams& params, Rng& rng,
 
     const Graph g_i = induced_subgraph(g, sampled, &original, &edge_origin);
     Rng inner_rng = rng.split();
-    const Graph h_i = config.inner == Dk11Config::Inner::baswana_sen
-                          ? baswana_sen_spanner(g_i, params.k, inner_rng)
-                          : add93_greedy_spanner(g_i, params.k);
-    for (const auto& e : h_i.edges()) {
-      const auto local = g_i.find_edge(e.u, e.v);
-      FTSPAN_ASSERT(local.has_value(), "inner spanner edge missing from G_i");
-      const EdgeId id = edge_origin[*local];
+    const Graph h_i =
+        config.inner == Dk11Config::Inner::baswana_sen
+            ? baswana_sen_spanner(g_i, params.k, inner_rng, &inner_picked)
+            : add93_greedy_spanner(g_i, params.k, &inner_picked);
+    FTSPAN_ASSERT(inner_picked.size() == h_i.m(),
+                  "inner spanner provenance misaligned");
+    for (std::size_t j = 0; j < h_i.m(); ++j) {
+      const EdgeId id = edge_origin[inner_picked[j]];
       if (in_spanner.test(id)) continue;
       in_spanner.set(id);
+      const auto& e = h_i.edge(static_cast<EdgeId>(j));
       build.spanner.add_edge(original[e.u], original[e.v], e.w);
       build.picked.push_back(id);
     }

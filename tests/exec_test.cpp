@@ -1,0 +1,197 @@
+// Tests for the src/exec/ parallel oracle engine: the fork-join pool, the
+// per-thread search arenas, and the speculative-evaluate / sequential-commit
+// greedy's equivalence with the sequential engine.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/modified_greedy.h"
+#include "exec/speculative_greedy.h"
+#include "exec/thread_pool.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  exec::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  constexpr std::size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](unsigned worker, std::size_t i) {
+    EXPECT_LT(worker, 4u);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRounds) {
+  exec::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.run(17, [&](unsigned, std::size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 17u * 16u / 2u);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  exec::ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::size_t count = 0;
+  pool.run(25, [&](unsigned worker, std::size_t) {
+    EXPECT_EQ(worker, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 25u);
+}
+
+TEST(ThreadPool, EmptyRunIsNoop) {
+  exec::ThreadPool pool(2);
+  pool.run(0, [&](unsigned, std::size_t) { FAIL() << "no task to run"; });
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  exec::ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.run(64,
+               [&](unsigned, std::size_t i) {
+                 ran.fetch_add(1, std::memory_order_relaxed);
+                 if (i == 13) throw std::runtime_error("boom");
+               }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 64u);  // remaining tasks still ran
+  // The pool stays usable after an exception.
+  std::atomic<std::size_t> again{0};
+  pool.run(8, [&](unsigned, std::size_t) {
+    again.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(again.load(), 8u);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(exec::resolve_threads(1), 1u);
+  EXPECT_EQ(exec::resolve_threads(7), 7u);
+  EXPECT_GE(exec::resolve_threads(0), 1u);  // auto: hardware concurrency
+}
+
+// ------------------------------------------- speculative greedy equivalence
+
+void expect_equivalent(const Graph& g, const SpannerParams& params,
+                       std::uint32_t threads, std::uint32_t window = 0) {
+  ModifiedGreedyConfig seq_config;
+  seq_config.record_certificates = true;
+  const auto sequential = modified_greedy_spanner(g, params, seq_config);
+
+  ModifiedGreedyConfig par_config = seq_config;
+  par_config.exec.threads = threads;
+  par_config.exec.window = window;
+  const auto parallel = modified_greedy_spanner(g, params, par_config);
+
+  EXPECT_EQ(parallel.picked, sequential.picked);
+  EXPECT_EQ(parallel.spanner.m(), sequential.spanner.m());
+  EXPECT_EQ(parallel.stats.oracle_calls, sequential.stats.oracle_calls);
+  EXPECT_EQ(parallel.stats.search_sweeps, sequential.stats.search_sweeps);
+  ASSERT_EQ(parallel.certificates.size(), sequential.certificates.size());
+  for (std::size_t i = 0; i < parallel.certificates.size(); ++i) {
+    EXPECT_EQ(parallel.certificates[i].model, sequential.certificates[i].model);
+    EXPECT_EQ(parallel.certificates[i].ids, sequential.certificates[i].ids)
+        << "certificate " << i;
+  }
+}
+
+TEST(SpeculativeGreedy, MatchesSequentialVertexModel) {
+  Rng rng(101);
+  const Graph g = gnp(60, 0.2, rng);
+  expect_equivalent(g, SpannerParams{.k = 2, .f = 2}, 4);
+}
+
+TEST(SpeculativeGreedy, MatchesSequentialEdgeModel) {
+  Rng rng(102);
+  const Graph g = gnp(60, 0.2, rng);
+  expect_equivalent(g, SpannerParams{.k = 2, .f = 3, .model = FaultModel::edge},
+                    3);
+}
+
+TEST(SpeculativeGreedy, MatchesSequentialWeighted) {
+  Rng rng(103);
+  const Graph g0 = random_geometric(48, 0.3, rng);
+  const Graph g = with_uniform_weights(g0, 0.5, 2.0, rng);
+  expect_equivalent(g, SpannerParams{.k = 3, .f = 1}, 4);
+}
+
+TEST(SpeculativeGreedy, MatchesSequentialZeroFaults) {
+  // f = 0 degenerates to the classic greedy: alpha = 0, one sweep per call.
+  Rng rng(104);
+  const Graph g = gnp(50, 0.25, rng);
+  expect_equivalent(g, SpannerParams{.k = 2, .f = 0}, 4);
+}
+
+TEST(SpeculativeGreedy, MatchesSequentialDenseHighFaults) {
+  Rng rng(105);
+  const Graph g = gnp(32, 0.6, rng);
+  expect_equivalent(g, SpannerParams{.k = 2, .f = 5}, 8);
+}
+
+TEST(SpeculativeGreedy, WindowOfOneDegeneratesToSequentialScan) {
+  Rng rng(106);
+  const Graph g = gnp(40, 0.25, rng);
+  expect_equivalent(g, SpannerParams{.k = 2, .f = 2}, 4, /*window=*/1);
+}
+
+TEST(SpeculativeGreedy, EmptyAndTinyGraphs) {
+  ModifiedGreedyConfig config;
+  config.exec.threads = 4;
+
+  const Graph empty(0);
+  const auto b0 = modified_greedy_spanner(empty, SpannerParams{}, config);
+  EXPECT_EQ(b0.spanner.m(), 0u);
+  EXPECT_TRUE(b0.picked.empty());
+
+  Graph single(2);
+  single.add_edge(0, 1);
+  const auto b1 = modified_greedy_spanner(single, SpannerParams{}, config);
+  EXPECT_EQ(b1.picked, (std::vector<EdgeId>{0}));
+}
+
+TEST(SpeculativeGreedy, InstrumentationIsConsistent) {
+  Rng rng(107);
+  const Graph g = gnp(64, 0.2, rng);
+  ModifiedGreedyConfig config;
+  config.exec.threads = 4;
+  const auto build = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2},
+                                             config);
+  EXPECT_EQ(build.stats.threads, 4u);
+  EXPECT_EQ(build.stats.oracle_calls, g.m());
+  EXPECT_GE(build.stats.spec_evaluated, build.stats.oracle_calls);
+  EXPECT_GE(build.stats.spec_windows, 1u);
+  // Committed work is exactly the sequential engine's; waste is extra.
+  const auto sequential = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2});
+  EXPECT_EQ(build.stats.search_sweeps, sequential.stats.search_sweeps);
+  EXPECT_EQ(sequential.stats.spec_evaluated, 0u);
+  EXPECT_EQ(sequential.stats.spec_windows, 0u);
+}
+
+TEST(SpeculativeGreedy, AutoThreadsResolves) {
+  Rng rng(108);
+  const Graph g = gnp(30, 0.3, rng);
+  ModifiedGreedyConfig config;
+  config.exec.threads = 0;  // auto
+  const auto build = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 1},
+                                             config);
+  EXPECT_GE(build.stats.threads, 1u);
+  const auto sequential = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 1});
+  EXPECT_EQ(build.picked, sequential.picked);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -3,6 +3,7 @@
 //
 //   ftspan_cli build  --in g.graph --out h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--algo modified|exact|dk11]
+//                     [--threads 1]   (modified only; 0 = all hardware threads)
 //   ftspan_cli verify --in g.graph --spanner h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--trials 200] [--exhaustive]
 //   ftspan_cli info   --in g.graph
@@ -32,7 +33,7 @@ using namespace ftspan;
 int usage() {
   std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
-               " [--algo modified|exact|dk11] [--seed 1]\n"
+               " [--algo modified|exact|dk11] [--seed 1] [--threads 1]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
                " [--model vertex|edge] [--trials 200] [--exhaustive]\n"
                "  info   --in G\n"
@@ -65,9 +66,21 @@ int cmd_build(const Cli& cli) {
 
   Graph h;
   if (algo == "modified") {
-    auto build = modified_greedy_spanner(g, params);
+    ModifiedGreedyConfig config;
+    const std::int64_t threads = cli.get_int("threads", 1);
+    if (threads < 0 || threads > 4096)
+      throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
+    config.exec.threads = static_cast<std::uint32_t>(threads);
+    auto build = modified_greedy_spanner(g, params, config);
     std::cout << "modified greedy: " << build.stats.oracle_calls
-              << " LBC decisions, " << build.stats.seconds << " s\n";
+              << " LBC decisions, " << build.stats.seconds << " s, "
+              << build.stats.threads << " thread(s)";
+    if (build.stats.spec_evaluated > 0)
+      std::cout << ", speculation hit rate "
+                << (100.0 * static_cast<double>(build.stats.oracle_calls) /
+                    static_cast<double>(build.stats.spec_evaluated))
+                << "%";
+    std::cout << "\n";
     h = std::move(build.spanner);
   } else if (algo == "exact") {
     auto build = exact_greedy_spanner(g, params);
