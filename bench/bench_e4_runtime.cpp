@@ -42,13 +42,15 @@ struct RunResult {
   std::uint64_t sweeps = 0;
   std::uint64_t spec_evals = 0;
   std::uint64_t spec_wasted_sweeps = 0;
+  std::uint64_t batched_sweeps = 0;
+  std::uint64_t tree_reuse_hits = 0;
 };
 
 /// Best-of-`reps` timing of one greedy build (min is the stablest statistic
 /// for a deterministic workload on a shared machine).
 RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
                      std::uint32_t k, std::uint32_t threads, std::uint32_t reps,
-                     std::uint64_t seed) {
+                     std::uint64_t seed, bool batch) {
   Rng rng(seed + n);
   const Graph g = bench::gnp_with_degree(n, 16.0, rng);
   RunResult out;
@@ -63,6 +65,7 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
       std::min(threads, exec::resolve_threads(0));
   ModifiedGreedyConfig config;
   config.exec.threads = out.threads_used;
+  config.batch_terminals = batch;
   out.seconds = std::numeric_limits<double>::infinity();
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
     const Timer timer;
@@ -78,6 +81,8 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
       out.sweeps = build.stats.search_sweeps;
       out.spec_evals = build.stats.spec_evaluated;
       out.spec_wasted_sweeps = build.stats.spec_wasted_sweeps;
+      out.batched_sweeps = build.stats.batched_sweeps;
+      out.tree_reuse_hits = build.stats.tree_reuse_hits;
     }
   }
   return out;
@@ -96,7 +101,9 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
         << ", \"speedup\": " << r.speedup
         << ", \"oracle_calls\": " << r.oracle_calls
         << ", \"sweeps\": " << r.sweeps << ", \"spec_evals\": " << r.spec_evals
-        << ", \"spec_wasted_sweeps\": " << r.spec_wasted_sweeps << "}"
+        << ", \"spec_wasted_sweeps\": " << r.spec_wasted_sweeps
+        << ", \"batched_sweeps\": " << r.batched_sweeps
+        << ", \"tree_reuse_hits\": " << r.tree_reuse_hits << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -113,6 +120,7 @@ int main(int argc, char** argv) {
       std::max<std::int64_t>(1, cli.get_int("reps", 3)));
   const auto threads = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, cli.get_int("threads", 1)));
+  const bool batch = cli.get_int("batch", 1) != 0;
   const auto json_path = cli.get("out", "BENCH_e4_runtime.json");
 
   bench::banner("E4 runtime",
@@ -132,10 +140,10 @@ int main(int argc, char** argv) {
       {128, 4, 2},  {512, 2, 3}, {1024, 2, 2}, {2048, 2, 2},
   };
   for (const auto& c : modified)
-    results.push_back(run_config("modified", c.n, c.f, c.k, 1, reps, seed));
+    results.push_back(run_config("modified", c.n, c.f, c.k, 1, reps, seed, batch));
   if (threads > 1) {
     for (const auto& c : modified) {
-      RunResult r = run_config("modified", c.n, c.f, c.k, threads, reps, seed);
+      RunResult r = run_config("modified", c.n, c.f, c.k, threads, reps, seed, batch);
       // Speedup vs the matching sequential row emitted above.
       for (const auto& base : results)
         if (base.algo == "modified" && base.n == r.n && base.f == r.f &&
@@ -150,10 +158,11 @@ int main(int argc, char** argv) {
       {16, 1, 2}, {16, 2, 2}, {32, 1, 2},
   };
   for (const auto& c : exact)
-    results.push_back(run_config("exact", c.n, c.f, c.k, 1, reps, seed));
+    results.push_back(run_config("exact", c.n, c.f, c.k, 1, reps, seed, batch));
 
   Table table({"algo", "n", "m(G)", "f", "k", "thr", "m(H)", "secs", "speedup",
-               "oracle-calls", "sweeps", "spec-evals", "wasted-sweeps"});
+               "oracle-calls", "sweeps", "spec-evals", "wasted-sweeps",
+               "batched", "tree-hits"});
   for (const auto& r : results)
     table.add_row({r.algo, Table::num(r.n), Table::num(r.m),
                    Table::num(static_cast<long long>(r.f)),
@@ -164,7 +173,9 @@ int main(int argc, char** argv) {
                    Table::num(static_cast<long long>(r.oracle_calls)),
                    Table::num(static_cast<long long>(r.sweeps)),
                    Table::num(static_cast<long long>(r.spec_evals)),
-                   Table::num(static_cast<long long>(r.spec_wasted_sweeps))});
+                   Table::num(static_cast<long long>(r.spec_wasted_sweeps)),
+                   Table::num(static_cast<long long>(r.batched_sweeps)),
+                   Table::num(static_cast<long long>(r.tree_reuse_hits))});
   table.print(std::cout);
 
   if (!write_json(json_path, results)) {

@@ -8,6 +8,7 @@ namespace ftspan {
 
 void LbcSolver::reserve(std::size_t n, std::size_t m) {
   bfs_.reserve(n);
+  tree_bfs_.reserve(n);
   vertex_cut_.ensure_universe(n);
   edge_cut_.ensure_universe(m);
   trace_mark_.ensure_universe(n);
@@ -16,6 +17,49 @@ void LbcSolver::reserve(std::size_t n, std::size_t m) {
 LbcResult LbcSolver::decide(const Graph& g, VertexId u, VertexId v,
                             std::uint32_t t, std::uint32_t alpha,
                             LbcTrace* trace) {
+  batch_g_ = nullptr;  // a direct decision ends any open batch
+  return run_decision(g, u, v, t, alpha, trace, /*sweep0_from_tree=*/false);
+}
+
+void LbcSolver::begin_batch(const Graph& g, VertexId u,
+                            std::span<const VertexId> targets,
+                            std::uint32_t t) {
+  FTSPAN_REQUIRE(u < g.n(), "LBC terminal out of range");
+  FTSPAN_REQUIRE(t >= 1, "LBC requires t >= 1");
+  FTSPAN_REQUIRE(!targets.empty(), "LBC batch must have at least one target");
+  batch_g_ = &g;
+  batch_u_ = u;
+  batch_t_ = t;
+  batch_m_ = g.m();
+  batch_targets_.assign(targets.begin(), targets.end());
+  tree_bfs_.tree_begin(g, u, batch_targets_, FaultView{}, t);
+  ++trees_built_;
+}
+
+LbcResult LbcSolver::decide_batched(std::size_t index, std::uint32_t alpha,
+                                    LbcTrace* trace) {
+  FTSPAN_REQUIRE(batch_g_ != nullptr, "no open LBC batch");
+  FTSPAN_REQUIRE(index < batch_targets_.size(), "LBC batch index out of range");
+  FTSPAN_REQUIRE(batch_g_->m() == batch_m_,
+                 "graph mutated during an LBC batch (re-begin_batch first)");
+  return run_decision(*batch_g_, batch_u_, batch_targets_[index], batch_t_,
+                      alpha, trace, /*sweep0_from_tree=*/true);
+}
+
+void LbcSolver::decide_batch(const Graph& g, VertexId u,
+                             std::span<const VertexId> targets, std::uint32_t t,
+                             std::uint32_t alpha, std::span<LbcResult> results,
+                             LbcTrace* traces) {
+  FTSPAN_REQUIRE(results.size() == targets.size(),
+                 "LBC batch results must be sized like targets");
+  begin_batch(g, u, targets, t);
+  for (std::size_t j = 0; j < targets.size(); ++j)
+    results[j] = decide_batched(j, alpha, traces ? &traces[j] : nullptr);
+}
+
+LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
+                                  std::uint32_t t, std::uint32_t alpha,
+                                  LbcTrace* trace, bool sweep0_from_tree) {
   FTSPAN_REQUIRE(u < g.n() && v < g.n(), "LBC terminal out of range");
   FTSPAN_REQUIRE(u != v, "LBC terminals must be distinct");
   FTSPAN_REQUIRE(t >= 1, "LBC requires t >= 1");
@@ -39,12 +83,27 @@ LbcResult LbcSolver::decide(const Graph& g, VertexId u, VertexId v,
   for (std::uint32_t i = 0; i <= alpha; ++i) {
     ++result.sweeps;
     ++total_sweeps_;
-    // Sweep 0 runs before anything is cut; handing the BFS an empty view lets
-    // it dispatch to the no-mask specialization (≈70% of all sweeps).
-    const FaultView faults = i == 0 ? FaultView{} : cut_view;
-    const bool found = bfs_.shortest_path_arcs(g, u, v, path_, faults, t);
-    if (trace != nullptr)
-      for (const VertexId x : bfs_.last_expanded()) trace_mark_.set(x);
+    bool found;
+    if (i == 0 && sweep0_from_tree) {
+      // Sweep 0 of a batched decision: resume the shared terminal tree just
+      // far enough to settle v; the per-target expanded_prefix is the exact
+      // read set a dedicated search would have produced.
+      ++batched_sweeps_;
+      const BfsTreeAnswer answer = tree_bfs_.tree_next(v);
+      found = answer.dist <= t;
+      if (trace != nullptr)
+        for (const VertexId x :
+             tree_bfs_.last_visited().first(answer.expanded_prefix))
+          trace_mark_.set(x);
+      if (found) tree_bfs_.path_arcs_to(v, path_);
+    } else {
+      // Sweep 0 runs before anything is cut; handing the BFS an empty view
+      // lets it dispatch to the no-mask specialization (≈70% of all sweeps).
+      const FaultView faults = i == 0 ? FaultView{} : cut_view;
+      found = bfs_.shortest_path_arcs(g, u, v, path_, faults, t);
+      if (trace != nullptr)
+        for (const VertexId x : bfs_.last_expanded()) trace_mark_.set(x);
+    }
     if (!found) {
       result.yes = true;
       break;

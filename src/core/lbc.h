@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "graph/fault_mask.h"
 #include "graph/search.h"
@@ -55,6 +57,44 @@ class LbcSolver {
   LbcResult decide(const Graph& g, VertexId u, VertexId v, std::uint32_t t,
                    std::uint32_t alpha, LbcTrace* trace = nullptr);
 
+  // --- terminal-batched decisions -----------------------------------------
+  //
+  // The modified greedy issues runs of decisions that share their first
+  // terminal u (consecutive scan edges out of the same vertex).  Every such
+  // decision runs its sweep 0 against the SAME spanner H with the SAME empty
+  // cut, so one lazily-expanded BFS tree from u (BfsRunner::tree_begin)
+  // answers all of them: decision j only advances the shared expansion as
+  // far as its own single-target search would have, and any later decision
+  // whose target already settled gets its sweep 0 for free.  Sweeps >= 1
+  // accumulate a per-decision cut and run individually, unshared.
+  //
+  // Results, certificates, sweep counts, and (when requested) traces are
+  // bit-identical to calling decide() for each pair — enforced by
+  // tests/lbc_batch_test.cpp.  The caller must not mutate g between
+  // begin_batch and the last decide_batched; accepting an edge therefore
+  // ends the batch (both greedy engines re-begin on the remaining targets).
+
+  /// Opens a batch of decisions (u, targets[j]) on g.  O(|targets|); the
+  /// shared tree expands lazily inside decide_batched.
+  void begin_batch(const Graph& g, VertexId u,
+                   std::span<const VertexId> targets, std::uint32_t t);
+
+  /// Decides LBC(t, alpha) for (u, targets[index]) of the open batch.
+  /// Bit-identical to decide(g, u, targets[index], t, alpha, trace).
+  LbcResult decide_batched(std::size_t index, std::uint32_t alpha,
+                           LbcTrace* trace = nullptr);
+
+  /// Convenience wrapper: begin_batch + decide_batched for every target,
+  /// filling `results` (sized like targets) and, when non-null, `traces`
+  /// (ditto).  For one-shot callers that decide a whole batch against one
+  /// frozen H; the greedy engines use the stateful pair directly so they
+  /// can stop early on an accept (sequential) or write straight into their
+  /// window slots (speculative).
+  void decide_batch(const Graph& g, VertexId u,
+                    std::span<const VertexId> targets, std::uint32_t t,
+                    std::uint32_t alpha, std::span<LbcResult> results,
+                    LbcTrace* traces = nullptr);
+
   /// Pre-sizes all scratch state for a graph with `n` vertices and up to `m`
   /// edges, so subsequent decide() calls allocate nothing (per-thread arena
   /// warm-up in src/exec/).
@@ -65,14 +105,45 @@ class LbcSolver {
     return total_sweeps_;
   }
 
+  /// Terminal-tree sessions opened (instrumentation).
+  [[nodiscard]] std::uint64_t trees_built() const noexcept {
+    return trees_built_;
+  }
+
+  /// Sweep-0 decisions answered through a shared terminal tree
+  /// (instrumentation; each still counts 1 in total_sweeps()).
+  [[nodiscard]] std::uint64_t batched_sweeps() const noexcept {
+    return batched_sweeps_;
+  }
+
+  /// Dedicated sweep-0 BFS runs saved by tree sharing: batched decisions
+  /// beyond the first of each tree session.
+  [[nodiscard]] std::uint64_t tree_reuse_hits() const noexcept {
+    return batched_sweeps_ - trees_built_;
+  }
+
  private:
+  LbcResult run_decision(const Graph& g, VertexId u, VertexId v,
+                         std::uint32_t t, std::uint32_t alpha, LbcTrace* trace,
+                         bool sweep0_from_tree);
+
   FaultModel model_;
   BfsRunner bfs_;
+  BfsRunner tree_bfs_;  ///< holds the shared tree; bfs_ serves sweeps >= 1
   ScratchMask vertex_cut_;
   ScratchMask edge_cut_;
   ScratchMask trace_mark_;  ///< dedups expanded vertices across sweeps
   std::vector<PathStep> path_;
   std::uint64_t total_sweeps_ = 0;
+  std::uint64_t trees_built_ = 0;
+  std::uint64_t batched_sweeps_ = 0;
+
+  // Open batch (valid until the next begin_batch / decide on this solver).
+  const Graph* batch_g_ = nullptr;
+  std::vector<VertexId> batch_targets_;
+  VertexId batch_u_ = kInvalidVertex;
+  std::uint32_t batch_t_ = 0;
+  std::size_t batch_m_ = 0;  ///< g.m() at begin_batch, to catch mutation
 };
 
 /// One-shot convenience wrapper around LbcSolver::decide.

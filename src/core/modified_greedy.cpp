@@ -13,6 +13,12 @@ namespace ftspan {
 
 namespace {
 
+/// Upper bound on one terminal batch.  Re-beginning a batch after an accept
+/// re-marks the remaining targets, so unbounded runs on a huge-degree hub
+/// could pay O(degree^2) marking; the cap keeps that amortized O(1) per
+/// decision without changing any result (it only splits runs).
+constexpr std::size_t kMaxTerminalBatch = 512;
+
 std::vector<EdgeId> scan_order(const Graph& g, EdgeOrder order,
                                std::uint64_t shuffle_seed) {
   std::vector<EdgeId> ids(g.m());
@@ -60,20 +66,56 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   LbcSolver lbc(params.model);
 
   const std::uint32_t t = params.stretch();
-  for (const auto id : order) {
-    const auto& e = g.edge(id);
+  // Algorithm 2 runs on the *unweighted* view of H — even for weighted G,
+  // the weights only determined the scan order (Theorem 10's key idea).
+  const auto commit = [&](LbcResult decision, EdgeId id) {
     ++build.stats.oracle_calls;
-    // Algorithm 2 on the *unweighted* view of H — even for weighted G, the
-    // weights only determined the scan order (Theorem 10's key idea).
-    auto decision = lbc.decide(build.spanner, e.u, e.v, t, params.f);
-    if (decision.yes) {
-      build.spanner.add_edge(e.u, e.v, e.w);
-      build.picked.push_back(id);
-      if (config.record_certificates)
-        build.certificates.push_back(std::move(decision.cut));
+    if (!decision.yes) return false;
+    const auto& e = g.edge(id);
+    build.spanner.add_edge(e.u, e.v, e.w);
+    build.picked.push_back(id);
+    if (config.record_certificates)
+      build.certificates.push_back(std::move(decision.cut));
+    return true;
+  };
+
+  std::vector<VertexId> targets;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const VertexId shared_u = g.edge(order[i]).u;
+    std::size_t j = i + 1;
+    if (config.batch_terminals) {
+      // Terminal batch: a maximal run of consecutive candidates out of the
+      // same vertex, capped so re-marking after accepts stays cheap even on
+      // huge-degree hubs.
+      const std::size_t cap = i + kMaxTerminalBatch;
+      while (j < std::min(order.size(), cap) &&
+             g.edge(order[j]).u == shared_u)
+        ++j;
+    }
+    while (j - i > 1) {
+      // One shared tree serves the run until a decision accepts; accepting
+      // grows H, so the remaining targets re-begin against the new H —
+      // exactly the decision the per-edge engine would have made there.
+      targets.clear();
+      for (std::size_t p = i; p < j; ++p) targets.push_back(g.edge(order[p]).v);
+      lbc.begin_batch(build.spanner, shared_u, targets, t);
+      const std::size_t base = i;
+      for (; i < j; ++i)
+        if (commit(lbc.decide_batched(i - base, params.f), order[i])) {
+          ++i;
+          break;
+        }
+    }
+    if (j - i == 1) {  // singleton run or batch remainder: plain decision
+      const auto& e = g.edge(order[i]);
+      commit(lbc.decide(build.spanner, e.u, e.v, t, params.f), order[i]);
+      ++i;
     }
   }
   build.stats.search_sweeps = lbc.total_sweeps();
+  build.stats.batched_sweeps = lbc.batched_sweeps();
+  build.stats.tree_reuse_hits = lbc.tree_reuse_hits();
   build.stats.seconds = timer.seconds();
   return build;
 }

@@ -29,6 +29,13 @@ struct ModifiedGreedyConfig {
   /// Record the LBC certificate F_e for every accepted edge (Lemma 6
   /// blocking-set analysis; costs memory, not time).
   bool record_certificates = false;
+  /// Batch consecutive scan edges that share their first endpoint through a
+  /// shared terminal tree (LbcSolver::decide_batch): one lazily-expanded BFS
+  /// from the shared endpoint answers every sweep 0 of the run, instead of
+  /// one dedicated BFS per edge.  Picks, certificates, and sweep counts are
+  /// bit-identical either way (stats.tree_reuse_hits counts the saved BFS
+  /// runs); the switch exists for A/B benchmarks and equivalence tests.
+  bool batch_terminals = true;
   /// Parallel execution policy.  threads > 1 (or 0 = auto) routes the scan
   /// through the speculative-evaluate / sequential-commit engine in
   /// src/exec/, which picks the bit-identical edge set at any thread count.

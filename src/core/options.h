@@ -7,6 +7,10 @@
 #include "graph/types.h"
 #include "util/check.h"
 
+namespace ftspan::exec {
+class ThreadPool;  // src/exec/thread_pool.h
+}  // namespace ftspan::exec
+
 namespace ftspan {
 
 /// Order in which the greedy algorithms scan the edges of G.
@@ -21,10 +25,11 @@ enum class EdgeOrder : std::uint8_t {
 };
 
 /// Execution policy for engines that can evaluate independent oracle calls
-/// in parallel (currently the modified greedy; see src/exec/).  Every
-/// setting yields bit-identical results — the speculative engine commits
-/// decisions in scan order and re-evaluates any decision an accepted edge
-/// could have changed.
+/// in parallel (the modified greedy and verify_sampled; see src/exec/).
+/// Every setting yields bit-identical results — the speculative engine
+/// commits decisions in scan order and re-evaluates any decision an accepted
+/// edge could have changed, and the verifier folds per-trial reports in
+/// trial order.
 struct ExecPolicy {
   /// Worker threads the engine may use (the calling thread counts as one).
   /// 1 = plain sequential scan; 0 = one worker per hardware thread.
@@ -32,6 +37,10 @@ struct ExecPolicy {
   /// Fixed speculation window size; 0 = adaptive (recommended — grows on
   /// full commits, shrinks on invalidation aborts).
   std::uint32_t window = 0;
+  /// Pool the engine fans work over.  nullptr = the process-wide shared pool
+  /// (exec::shared_pool()), grown on demand; engines never spawn a private
+  /// pool per build.  Set to run against a caller-owned exec::ThreadPool.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Parameters of an f-fault-tolerant (2k-1)-spanner construction.

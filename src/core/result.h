@@ -32,6 +32,17 @@ struct SpannerBuildStats {
   std::uint64_t spec_wasted_sweeps = 0;
   /// Evaluate/commit rounds the parallel engine ran.
   std::uint64_t spec_windows = 0;
+  /// Sweep-0 decisions answered through a shared terminal tree (terminal-
+  /// batched LBC).  Sequentially every such decision commits and counts 1
+  /// in search_sweeps; the speculative engine counts *evaluations* here
+  /// (like spec_evaluated), so invalidated-and-re-evaluated decisions
+  /// contribute more than once while search_sweeps stays committed-only.
+  std::uint64_t batched_sweeps = 0;
+  /// Dedicated sweep-0 BFS runs saved by tree sharing: batched decisions
+  /// beyond the first of each tree session.  Sequentially, physical sweep-0
+  /// runs = logical sweeps - tree_reuse_hits; under speculation the saving
+  /// applies to evaluated (committed + wasted) sweeps instead.
+  std::uint64_t tree_reuse_hits = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

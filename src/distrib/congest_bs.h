@@ -29,7 +29,8 @@
 
 namespace ftspan::distrib {
 
-/// Total rounds of the schedule for stretch parameter k.
+/// Total rounds of the schedule for stretch parameter k:
+/// sum_{i<k}(i+2) + 3 = O(k^2).
 [[nodiscard]] std::uint32_t congest_bs_schedule_rounds(std::uint32_t k) noexcept;
 
 /// Per-node Baswana-Sen program.
@@ -101,7 +102,8 @@ struct CongestBsResult {
   RunStats stats;
 };
 
-/// Theorem 14: runs the program on all of g under CONGEST limits.
+/// Theorem 14: runs the program on all of g under CONGEST limits
+/// (B = bits_factor * ceil(log2 n) bits per edge per round), O(k^2) rounds.
 [[nodiscard]] CongestBsResult congest_baswana_sen(const Graph& g,
                                                   std::uint32_t k,
                                                   std::uint64_t seed,

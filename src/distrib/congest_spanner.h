@@ -49,7 +49,10 @@ struct CongestFtResult {
   std::uint64_t messages = 0;
 };
 
-/// Runs the Theorem 15 construction.
+/// Runs the Theorem 15 construction: O(f^2 (log f + log log n)) physical
+/// rounds for phase 1 plus congestion-charged phase 2 (whp O(k^2 f log n));
+/// output is whp an f-VFT (2k-1)-spanner of size
+/// O(k f^{2-1/k} n^{1+1/k} log n).
 [[nodiscard]] CongestFtResult congest_ft_spanner(const Graph& g,
                                                  const CongestFtConfig& config);
 

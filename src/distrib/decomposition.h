@@ -54,7 +54,8 @@ struct Decomposition {
   std::size_t uncovered_edges = 0;
 };
 
-/// Runs the decomposition on the LOCAL simulator.
+/// Runs the decomposition on the LOCAL simulator: O(Delta) = O(log n)
+/// rounds, all ell partitions in parallel, O(log n)-bit messages each.
 [[nodiscard]] Decomposition build_decomposition(const Graph& g,
                                                 const DecompositionConfig& config);
 

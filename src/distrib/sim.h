@@ -54,12 +54,17 @@ class NodeContext {
  public:
   NodeContext(const Graph& g, VertexId id) : graph_(&g), id_(id) {}
 
+  /// This node's vertex id.
   [[nodiscard]] VertexId id() const noexcept { return id_; }
+  /// Network size (shared knowledge in both models).
   [[nodiscard]] std::size_t n() const noexcept { return graph_->n(); }
+  /// Current round index (0-based).
   [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+  /// Incident arcs, in stable CSR row order.  O(1).
   [[nodiscard]] std::span<const Arc> neighbors() const {
     return graph_->neighbors(id_);
   }
+  /// Messages delivered this round (sent to this node last round).
   [[nodiscard]] std::span<const Message> inbox() const noexcept {
     return inbox_;
   }
@@ -76,7 +81,9 @@ class NodeContext {
     EdgeId edge;  ///< id of the edge {sender, to}, resolved at send()
     Message msg;
   };
+  /// Driver hook: installs this round's inbox and advances the round index.
   void begin_round(std::uint32_t round, std::vector<Message> inbox);
+  /// Driver hook: drains the messages queued by send() this round.
   [[nodiscard]] std::vector<Outgoing> take_outbox() noexcept;
 
  private:
@@ -117,9 +124,12 @@ class Network {
   /// Installs the programs (exactly one per vertex).
   void install(std::vector<std::unique_ptr<NodeProgram>> programs);
 
-  /// Runs to quiescence, or at most max_rounds.
+  /// Runs to quiescence (every program finished, no messages in flight), or
+  /// at most max_rounds.  O(rounds * (n + messages)) plus the programs' own
+  /// local computation.
   RunStats run(std::uint32_t max_rounds);
 
+  /// The network topology the programs run on.
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
   /// Access to a node's program (e.g. to collect results after run()).

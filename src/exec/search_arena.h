@@ -20,6 +20,9 @@ struct SearchArena {
   }
 
   LbcSolver lbc;
+  /// Scratch target list for terminal-batched evaluation (one batch at a
+  /// time per worker; avoids a per-batch allocation).
+  std::vector<VertexId> targets;
 };
 
 }  // namespace ftspan::exec

@@ -44,7 +44,12 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   build.stats.threads = threads;
   const std::uint32_t t = params.stretch();
 
-  ThreadPool pool(threads);
+  // No pool-per-build: reuse the policy's pool (default: the process-wide
+  // shared pool), grown once to the requested width.  run() below caps
+  // participation at `threads`, so a wider shared pool stays within budget.
+  ThreadPool& pool =
+      config.exec.pool != nullptr ? *config.exec.pool : shared_pool();
+  pool.ensure_workers(threads);
   std::vector<SearchArena> arenas;
   arenas.reserve(threads);
   for (std::uint32_t w = 0; w < threads; ++w)
@@ -62,20 +67,56 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
       adaptive ? max_window : window, std::max<std::size_t>(order.size(), 1)));
   std::vector<VertexId> accepted;  // endpoints accepted this commit phase
 
+  // Terminal batches inside the current window: a maximal run of consecutive
+  // candidates sharing their first endpoint is one task, decided by one
+  // worker through a shared terminal tree (H is frozen for the whole
+  // evaluate phase, so the tree never invalidates mid-batch).
+  struct BatchRange {
+    std::size_t begin, end;  // slot indices
+  };
+  std::vector<BatchRange> batches;
+
   std::size_t pos = 0;
   while (pos < order.size()) {
     const std::size_t w = std::min(window, order.size() - pos);
     if (slots.size() < w) slots.resize(w);
 
+    batches.clear();
+    for (std::size_t i = 0; i < w;) {
+      std::size_t j = i + 1;
+      if (config.batch_terminals) {
+        const VertexId shared_u = g.edge(order[pos + i]).u;
+        while (j < w && g.edge(order[pos + j]).u == shared_u) ++j;
+      }
+      batches.push_back({i, j});
+      i = j;
+    }
+
     // Evaluate phase: H is frozen; every worker reads it through its own
     // arena and writes only its own slots.
     ++build.stats.spec_windows;
     build.stats.spec_evaluated += w;
-    pool.run(w, [&](unsigned worker, std::size_t i) {
-      const Edge& e = g.edge(order[pos + i]);
-      slots[i].result = arenas[worker].lbc.decide(build.spanner, e.u, e.v, t,
-                                                  params.f, &slots[i].trace);
-    });
+    pool.run(
+        batches.size(),
+        [&](unsigned worker, std::size_t b) {
+          const auto [lo, hi] = batches[b];
+          SearchArena& arena = arenas[worker];
+          if (hi - lo == 1) {
+            const Edge& e = g.edge(order[pos + lo]);
+            slots[lo].result = arena.lbc.decide(build.spanner, e.u, e.v, t,
+                                                params.f, &slots[lo].trace);
+            return;
+          }
+          arena.targets.clear();
+          for (std::size_t i = lo; i < hi; ++i)
+            arena.targets.push_back(g.edge(order[pos + i]).v);
+          arena.lbc.begin_batch(build.spanner, g.edge(order[pos + lo]).u,
+                                arena.targets, t);
+          for (std::size_t i = lo; i < hi; ++i)
+            slots[i].result =
+                arena.lbc.decide_batched(i - lo, params.f, &slots[i].trace);
+        },
+        threads);
 
     // Commit phase, in scan order.  The first slot always commits: it was
     // evaluated against exactly the H of its commit point.
@@ -105,6 +146,10 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
       window = committed == w ? std::min(window * 2, max_window)
                               : std::max(window / 2, min_window);
     }
+  }
+  for (const auto& arena : arenas) {
+    build.stats.batched_sweeps += arena.lbc.batched_sweeps();
+    build.stats.tree_reuse_hits += arena.lbc.tree_reuse_hits();
   }
   return build;
 }

@@ -8,12 +8,7 @@ std::uint32_t resolve_threads(std::uint32_t requested) noexcept {
   return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(std::uint32_t threads) {
-  if (threads < 1) threads = 1;
-  workers_.reserve(threads - 1);
-  for (std::uint32_t w = 1; w < threads; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
-}
+ThreadPool::ThreadPool(std::uint32_t threads) { ensure_workers(threads); }
 
 ThreadPool::~ThreadPool() {
   {
@@ -22,6 +17,24 @@ ThreadPool::~ThreadPool() {
   }
   start_cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+}
+
+std::uint32_t ThreadPool::threads() const noexcept {
+  std::lock_guard lk(mu_);
+  return static_cast<std::uint32_t>(workers_.size()) + 1;
+}
+
+void ThreadPool::ensure_workers(std::uint32_t threads) {
+  if (threads < 1) threads = 1;
+  std::lock_guard lk(mu_);
+  // A worker spawned mid-round must not join the in-flight job (its busy_
+  // accounting predates the worker), so it starts having "seen" the current
+  // generation and waits for the next one.
+  while (workers_.size() + 1 < threads) {
+    const auto id = static_cast<unsigned>(workers_.size()) + 1;
+    const std::uint64_t seen = generation_;
+    workers_.emplace_back([this, id, seen] { worker_loop(id, seen); });
+  }
 }
 
 void ThreadPool::work(unsigned worker, const Task& fn, std::size_t n) {
@@ -37,11 +50,11 @@ void ThreadPool::work(unsigned worker, const Task& fn, std::size_t n) {
   }
 }
 
-void ThreadPool::worker_loop(unsigned worker) {
-  std::uint64_t seen = 0;
+void ThreadPool::worker_loop(unsigned worker, std::uint64_t seen) {
   for (;;) {
     const Task* job = nullptr;
     std::size_t n = 0;
+    std::uint32_t limit = 0;
     {
       std::unique_lock lk(mu_);
       start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
@@ -49,8 +62,11 @@ void ThreadPool::worker_loop(unsigned worker) {
       seen = generation_;
       job = job_;
       n = job_n_;
+      limit = job_limit_;
     }
-    work(worker, *job, n);
+    // Workers beyond the round's participant cap skip the job but still
+    // acknowledge the generation, so run() can wait on busy_ alone.
+    if (worker < limit) work(worker, *job, n);
     {
       std::lock_guard lk(mu_);
       --busy_;
@@ -59,9 +75,16 @@ void ThreadPool::worker_loop(unsigned worker) {
   }
 }
 
-void ThreadPool::run(std::size_t n, const Task& fn) {
+void ThreadPool::run(std::size_t n, const Task& fn, std::uint32_t max_workers) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  if (max_workers < 1) max_workers = 1;
+  std::lock_guard round(run_mu_);
+  std::size_t spawned;
+  {
+    std::lock_guard lk(mu_);
+    spawned = workers_.size();
+  }
+  if (spawned == 0 || n == 1 || max_workers == 1) {
     // Nothing to fan out; run inline (exceptions propagate directly).
     for (std::size_t i = 0; i < n; ++i) fn(0, i);
     return;
@@ -70,9 +93,10 @@ void ThreadPool::run(std::size_t n, const Task& fn) {
     std::lock_guard lk(mu_);
     job_ = &fn;
     job_n_ = n;
+    job_limit_ = max_workers;
     next_.store(0, std::memory_order_relaxed);
-    busy_ = workers_.size();
-    ++generation_;
+    busy_ = workers_.size();  // same lock as the generation bump: a worker
+    ++generation_;            // joins a round iff busy_ counted it
   }
   start_cv_.notify_all();
   work(0, fn, n);
@@ -84,6 +108,11 @@ void ThreadPool::run(std::size_t n, const Task& fn) {
     error_ = nullptr;
     std::rethrow_exception(error);
   }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(1);
+  return pool;
 }
 
 }  // namespace ftspan::exec

@@ -9,6 +9,14 @@
 // static chunking would stall the round on its slowest shard), and workers
 // persist across rounds parked on a condition variable.
 //
+// Pools are meant to be SHARED: spawning a pool per build pays thread
+// start-up on every call, so engines default to the process-wide
+// shared_pool(), which grows on demand (ensure_workers) and is reused by
+// every build and verification in the process.  run() may be called from any
+// thread (the calling thread is worker 0 for that round); concurrent run()
+// calls on one pool serialize against each other.  A task must never call
+// run() on its own pool — that deadlocks on the round lock.
+//
 // Memory model: everything a task writes is visible to the caller when run()
 // returns, and everything the caller wrote before run() is visible to the
 // tasks — the generation handshake is mutex-protected on both edges.
@@ -20,6 +28,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,11 +39,11 @@ namespace ftspan::exec {
 /// thread (at least 1); any other value is taken literally.
 [[nodiscard]] std::uint32_t resolve_threads(std::uint32_t requested) noexcept;
 
-/// Persistent fork-join pool of `threads` workers (the constructing thread
-/// counts as one, so `threads - 1` std::threads are spawned).
+/// Persistent fork-join pool of workers (the thread calling run() counts as
+/// one, so `threads - 1` std::threads are spawned).
 class ThreadPool {
  public:
-  /// fn(worker, index): worker is in [0, threads), index in [0, n).
+  /// fn(worker, index): worker is in [0, participants), index in [0, n).
   using Task = std::function<void(unsigned worker, std::size_t index)>;
 
   explicit ThreadPool(std::uint32_t threads);
@@ -43,32 +52,50 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total workers, including the calling thread.
-  [[nodiscard]] std::uint32_t threads() const noexcept {
-    return static_cast<std::uint32_t>(workers_.size()) + 1;
-  }
+  /// Total workers, including the thread that calls run().
+  [[nodiscard]] std::uint32_t threads() const noexcept;
 
-  /// Runs fn for every index in [0, n) across all workers; returns when all
-  /// are done.  Each index runs exactly once.  The first exception a task
-  /// throws is rethrown here (remaining tasks still run).  Must only be
-  /// called from the constructing thread, one run at a time.
-  void run(std::size_t n, const Task& fn);
+  /// Grows the pool to at least `threads` workers (including the caller).
+  /// Never shrinks.  Safe to call concurrently with an in-flight run():
+  /// new workers join from the next round on.
+  void ensure_workers(std::uint32_t threads);
+
+  /// Runs fn for every index in [0, n) and returns when all are done; each
+  /// index runs exactly once.  At most `max_workers` workers participate
+  /// (the caller, as worker 0, plus the lowest-numbered pool workers), so an
+  /// engine asked for fewer threads than the shared pool holds stays within
+  /// its budget.  The first exception a task throws is rethrown here
+  /// (remaining tasks still run).  Callable from any thread; concurrent
+  /// calls serialize.  Tasks must not call run() on this pool.
+  void run(std::size_t n, const Task& fn,
+           std::uint32_t max_workers = kAllWorkers);
+
+  static constexpr std::uint32_t kAllWorkers =
+      std::numeric_limits<std::uint32_t>::max();
 
  private:
-  void worker_loop(unsigned worker);
+  void worker_loop(unsigned worker, std::uint64_t seen);
   void work(unsigned worker, const Task& fn, std::size_t n);
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
+  std::vector<std::thread> workers_;      // guarded by mu_ (growth)
+  std::mutex run_mu_;                     // serializes whole run() rounds
+  mutable std::mutex mu_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const Task* job_ = nullptr;     // guarded by mu_
-  std::size_t job_n_ = 0;         // guarded by mu_
-  std::uint64_t generation_ = 0;  // guarded by mu_
-  std::size_t busy_ = 0;          // guarded by mu_
-  bool stop_ = false;             // guarded by mu_
-  std::exception_ptr error_;      // guarded by mu_
+  const Task* job_ = nullptr;             // guarded by mu_
+  std::size_t job_n_ = 0;                 // guarded by mu_
+  std::uint32_t job_limit_ = 0;           // guarded by mu_: participant cap
+  std::uint64_t generation_ = 0;          // guarded by mu_
+  std::size_t busy_ = 0;                  // guarded by mu_
+  bool stop_ = false;                     // guarded by mu_
+  std::exception_ptr error_;              // guarded by mu_
   std::atomic<std::size_t> next_{0};
 };
+
+/// The process-wide pool every engine shares by default (ExecPolicy::pool ==
+/// nullptr).  Created lazily with no spawned workers; engines grow it to
+/// their resolved thread count with ensure_workers, so the first parallel
+/// build pays thread start-up once for the whole process.
+[[nodiscard]] ThreadPool& shared_pool();
 
 }  // namespace ftspan::exec

@@ -1,7 +1,9 @@
 #include "fault/verifier.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "exec/thread_pool.h"
 #include "fault/attack.h"
 #include "graph/fault_mask.h"
 #include "graph/search.h"
@@ -139,16 +141,58 @@ StretchReport verify_exhaustive(const Graph& g, const Graph& h,
 
 StretchReport verify_sampled(const Graph& g, const Graph& h,
                              const SpannerParams& params, std::uint32_t trials,
-                             Rng& rng) {
+                             Rng& rng, const ExecPolicy& exec) {
   params.validate();
+  const std::uint32_t threads = exec::resolve_threads(exec.threads);
   StretchReport report;
-  PairChecker checker(g, h, params);
-  // Always include the empty fault set: H must at least be a plain spanner.
-  checker.check(FaultSet{params.model, {}}, report);
-  for (std::uint32_t trial = 0; trial < trials; ++trial) {
-    const FaultSet faults =
-        generate_mixed_attack(g, h, params.model, params.f, trial, rng);
-    checker.check(faults, report);
+
+  if (threads <= 1) {
+    PairChecker checker(g, h, params);
+    // Always include the empty fault set: H must at least be a plain spanner.
+    checker.check(FaultSet{params.model, {}}, report);
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      const FaultSet faults =
+          generate_mixed_attack(g, h, params.model, params.f, trial, rng);
+      checker.check(faults, report);
+    }
+    return report;
+  }
+
+  // Parallel path: draw every fault set up front (the rng stream is consumed
+  // exactly as in the sequential path), check trials independently with
+  // per-worker checkers, then fold the per-trial reports in trial order so
+  // the max-stretch tie-breaking — first trial, first pair — matches the
+  // sequential fold bit for bit.
+  std::vector<FaultSet> sets;
+  sets.reserve(std::size_t{trials} + 1);
+  sets.push_back(FaultSet{params.model, {}});
+  for (std::uint32_t trial = 0; trial < trials; ++trial)
+    sets.push_back(
+        generate_mixed_attack(g, h, params.model, params.f, trial, rng));
+
+  std::vector<std::unique_ptr<PairChecker>> checkers(threads);
+  for (auto& checker : checkers)
+    checker = std::make_unique<PairChecker>(g, h, params);
+  std::vector<StretchReport> partial(sets.size());
+
+  exec::ThreadPool& pool =
+      exec.pool != nullptr ? *exec.pool : exec::shared_pool();
+  pool.ensure_workers(threads);
+  pool.run(
+      sets.size(),
+      [&](unsigned worker, std::size_t i) {
+        checkers[worker]->check(sets[i], partial[i]);
+      },
+      threads);
+
+  for (auto& p : partial) {
+    report.fault_sets_checked += p.fault_sets_checked;
+    report.pairs_checked += p.pairs_checked;
+    report.ok = report.ok && p.ok;
+    if (p.max_stretch > report.max_stretch) {
+      report.max_stretch = p.max_stretch;
+      report.worst = std::move(p.worst);
+    }
   }
   return report;
 }

@@ -44,7 +44,8 @@ struct StretchReport {
 };
 
 /// Exhaustively verifies that `h` is an f-FT (2k-1)-spanner of `g`
-/// (all fault sets of size <= f).  Exponential in f; use on small instances.
+/// (all fault sets of size <= f).  O(C(n, f) * m * Dijkstra) — exponential
+/// in f; use on small instances (it is the ground truth in tests).
 /// Requires h.n() == g.n().
 [[nodiscard]] StretchReport verify_exhaustive(const Graph& g, const Graph& h,
                                               const SpannerParams& params);
@@ -52,13 +53,23 @@ struct StretchReport {
 /// Verifies against `trials` sampled fault sets (exactly size f each, drawn
 /// from a mix of random and adversarial strategies).  A failure is a
 /// counterexample; success is evidence, not proof.
+///
+/// Trials are independent, so `exec.threads` > 1 (or 0 = auto) fans them
+/// over the shared worker pool (exec::shared_pool(), or exec.pool): fault
+/// sets are drawn from `rng` sequentially up front and per-trial reports are
+/// folded in trial order, so the report — including the worst witness — is
+/// bit-identical at any thread count.  O(trials * m * Dijkstra) work either
+/// way.
 [[nodiscard]] StretchReport verify_sampled(const Graph& g, const Graph& h,
                                            const SpannerParams& params,
-                                           std::uint32_t trials, Rng& rng);
+                                           std::uint32_t trials, Rng& rng,
+                                           const ExecPolicy& exec = {});
 
-/// Checks one specific fault set: max stretch over surviving G-edges.
-/// `faults.model` must match sizes of g/h (vertex ids < n, edge ids < m of g
-/// -- edge faults are mapped to h via endpoint lookup).
+/// Checks one specific fault set: max stretch over surviving G-edges
+/// (Lemma 3 reduction), each pair one budget-pruned Dijkstra in G\F and one
+/// in H\F — O(m * Dijkstra).  `faults.model` must match sizes of g/h
+/// (vertex ids < n, edge ids < m of g -- edge faults are mapped to h via
+/// endpoint lookup).
 [[nodiscard]] StretchReport check_fault_set(const Graph& g, const Graph& h,
                                             const SpannerParams& params,
                                             const FaultSet& faults);

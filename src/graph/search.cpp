@@ -22,10 +22,20 @@ void BfsRunner::ensure(std::size_t n) {
   if (n > node_.size()) node_.resize(n);
 }
 
+void BfsRunner::ensure_session_arrays() {
+  if (tmark_.size() < node_.size()) {
+    tmark_.resize(node_.size(), 0);
+    amark_.resize(node_.size(), 0);
+    tpos_.resize(node_.size(), 0);
+  }
+}
+
 void BfsRunner::begin_epoch() {
   ++epoch_;
   if (epoch_ == 0) {  // wrapped: invalidate all stamps
     for (auto& node : node_) node.stamp = 0;
+    for (auto& mark : tmark_) mark = 0;
+    for (auto& mark : amark_) mark = 0;
     epoch_ = 1;
   }
   queue_.clear();
@@ -119,13 +129,103 @@ bool BfsRunner::shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
                                    std::uint32_t max_hops) {
   const std::uint32_t d = run(g, s, t, faults, max_hops);
   if (d > max_hops || d == kUnreachableHops) return false;
-  out.clear();
-  for (VertexId v = t; v != kInvalidVertex; v = node_[v].parent)
-    out.push_back(PathStep{v, node_[v].parent_arc});
-  std::reverse(out.begin(), out.end());
-  FTSPAN_ASSERT(out.front().to == s && out.back().to == t,
-                "path endpoints mismatch");
+  path_arcs_to(t, out);
+  FTSPAN_ASSERT(out.front().to == s, "path source mismatch");
   return true;
+}
+
+void BfsRunner::path_arcs_to(VertexId v, std::vector<PathStep>& out) const {
+  FTSPAN_ASSERT(v < node_.size() && node_[v].stamp == epoch_,
+                "path_arcs_to target was not reached by the last search");
+  out.clear();
+  for (VertexId x = v; x != kInvalidVertex; x = node_[x].parent)
+    out.push_back(PathStep{x, node_[x].parent_arc});
+  std::reverse(out.begin(), out.end());
+}
+
+// ------------------------------------------------- terminal-tree sessions
+
+void BfsRunner::tree_begin(const Graph& g, VertexId s,
+                           std::span<const VertexId> targets,
+                           const FaultView& faults, std::uint32_t max_hops) {
+  FTSPAN_REQUIRE(s < g.n(), "tree source out of range");
+  ensure(g.n());
+  ensure_session_arrays();
+  begin_epoch();
+  tree_g_ = &g;
+  tree_faults_ = faults;
+  tree_max_hops_ = max_hops;
+  tree_epoch_ = epoch_;
+  tree_head_ = 0;
+  for (const VertexId v : targets) {
+    FTSPAN_REQUIRE(v < g.n(), "tree target out of range");
+    if (faults.vertex_alive(v)) tmark_[v] = epoch_;
+  }
+  if (!faults.vertex_alive(s)) return;  // empty tree: every answer unreachable
+  node_[s] = Node{0, epoch_, kInvalidVertex, kInvalidEdge};
+  queue_.push_back(s);
+}
+
+template <bool kCheckVertices, bool kCheckEdges>
+BfsTreeAnswer BfsRunner::tree_next_impl(VertexId v) {
+  const Graph& g = *tree_g_;
+  const FaultView& faults = tree_faults_;
+  const std::uint32_t max_hops = tree_max_hops_;
+  Node* const node = node_.data();
+
+  while (tree_head_ < queue_.size()) {
+    const VertexId u = queue_[tree_head_];
+    const std::uint32_t du = node[u].dist;
+    if (tmark_[u] == epoch_) {
+      // A pending target settles the moment it is popped; its read set is
+      // what a dedicated search would have expanded by now: everything ahead
+      // of it in the queue when du < max_hops, and the final (frozen, since
+      // the deepest level is never scanned) expansion count otherwise.
+      tmark_[u] = 0;
+      amark_[u] = epoch_;
+      tpos_[u] = du < max_hops ? tree_head_ : expanded_count_;
+    }
+    if (du >= max_hops) {  // deepest level: popped, never scanned
+      ++tree_head_;
+      if (u == v) return {du, tpos_[u]};
+      continue;
+    }
+    if (u == v)  // stop *before* scanning v, exactly like the u == t return
+      return {du, tpos_[u]};
+    ++expanded_count_;
+    ++tree_head_;
+    const bool frontier_next = du + 1 >= max_hops;
+    for (const auto& arc : g.neighbors(u)) {
+      if (frontier_next && tmark_[arc.to] != epoch_) continue;
+      if (node[arc.to].stamp == epoch_) continue;
+      if constexpr (kCheckEdges) {
+        if (!faults.edge_alive(arc.edge)) continue;
+      }
+      if constexpr (kCheckVertices) {
+        if (!faults.vertex_alive(arc.to)) continue;
+      }
+      node[arc.to] = Node{du + 1, epoch_, u, arc.edge};
+      queue_.push_back(arc.to);
+    }
+  }
+  return {kUnreachableHops, expanded_count_};
+}
+
+BfsTreeAnswer BfsRunner::tree_next(VertexId v) {
+  FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
+                 "no open terminal-tree session (another search ended it?)");
+  FTSPAN_REQUIRE(v < tree_g_->n(), "tree target out of range");
+  if (!tree_faults_.vertex_alive(v)) return {kUnreachableHops, 0};
+  FTSPAN_REQUIRE(tmark_[v] == epoch_ || amark_[v] == epoch_,
+                 "tree_next target was not in the tree_begin target set");
+  if (amark_[v] == epoch_) return {node_[v].dist, tpos_[v]};
+
+  const bool check_v = !tree_faults_.failed_vertices.empty();
+  const bool check_e = !tree_faults_.failed_edges.empty();
+  if (check_v && check_e) return tree_next_impl<true, true>(v);
+  if (check_v) return tree_next_impl<true, false>(v);
+  if (check_e) return tree_next_impl<false, true>(v);
+  return tree_next_impl<false, false>(v);
 }
 
 void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>& out,

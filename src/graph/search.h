@@ -44,6 +44,18 @@ struct FaultView {
 /// Builds a FaultView over a Mask / ScratchMask pair (either may be null).
 [[nodiscard]] FaultView make_fault_view(const Mask* vertices, const Mask* edges);
 
+/// Answer for one target of a terminal-tree session (BfsRunner::tree_begin /
+/// tree_next).
+struct BfsTreeAnswer {
+  /// Hop distance from the session source (kUnreachableHops when the target
+  /// is beyond max_hops, unreachable, or failed).
+  std::uint32_t dist = kUnreachableHops;
+  /// Length of the last_visited() prefix a dedicated single-target search
+  /// for this target would have *expanded* — the exact per-target read set,
+  /// so traces built from a shared tree stay bit-identical to unbatched ones.
+  std::size_t expanded_prefix = 0;
+};
+
 /// Breadth-first search: hop (edge-count) distances, ignoring weights.
 class BfsRunner {
  public:
@@ -91,9 +103,49 @@ class BfsRunner {
     return {queue_.data(), expanded_count_};
   }
 
-  /// Pre-sizes the per-vertex state for graphs with up to `n` vertices so
-  /// the first search allocates nothing (per-thread arena warm-up).
-  void reserve(std::size_t n) { ensure(n); }
+  // --- terminal-tree sessions (terminal-batched LBC, src/core/lbc.h) ---
+  //
+  // A session is a lazily-expanded BFS tree from one source that answers
+  // several target queries against the SAME graph snapshot.  tree_begin
+  // marks the target set and enqueues the source; each tree_next(v) resumes
+  // the expansion only until v is answered, so one query costs exactly what
+  // a dedicated single-target search would, and every further query against
+  // the already-expanded region is free.  Frontier pruning generalizes to
+  // the target set: at depth max_hops only pending targets are stamped.
+  //
+  // Answers are bit-identical to single-target searches: same distances,
+  // same parent arcs (extract with path_arcs_to), and expanded_prefix is the
+  // exact expansion count of the equivalent early-terminated search.
+  //
+  // The session is bound to the runner's current epoch: any other search on
+  // this runner ends it (tree_next then throws).  The graph and fault view
+  // must not change for the lifetime of the session.
+
+  /// Opens a session from `s` over `targets`.  O(|targets|): no expansion
+  /// happens until the first tree_next.  `faults` must outlive the session.
+  void tree_begin(const Graph& g, VertexId s, std::span<const VertexId> targets,
+                  const FaultView& faults = {},
+                  std::uint32_t max_hops = kUnreachableHops);
+
+  /// Answers one target of the open session (v must be in the tree_begin
+  /// target set), expanding the tree no further than v's own single-target
+  /// search would have.  Idempotent: repeated calls return the same answer.
+  BfsTreeAnswer tree_next(VertexId v);
+
+  /// Extracts the (vertex, edge-id) path from the source of the most recent
+  /// search (or session) to `v`, which must have been reached by it.  Same
+  /// format as shortest_path_arcs; does not re-run anything.
+  void path_arcs_to(VertexId v, std::vector<PathStep>& out) const;
+
+  /// Pre-sizes the per-vertex state — including the terminal-tree session
+  /// arrays — for graphs with up to `n` vertices, so the first search or
+  /// session allocates nothing (per-thread arena warm-up).  Runners that
+  /// never open sessions can skip reserve(); the session arrays also grow
+  /// lazily in tree_begin.
+  void reserve(std::size_t n) {
+    ensure(n);
+    ensure_session_arrays();
+  }
 
  private:
   /// Per-vertex search state, one cache-line-friendly record.
@@ -110,13 +162,26 @@ class BfsRunner {
   template <bool kCheckVertices, bool kCheckEdges>
   std::uint32_t run_impl(const Graph& g, VertexId s, VertexId t,
                          const FaultView& faults, std::uint32_t max_hops);
+  template <bool kCheckVertices, bool kCheckEdges>
+  BfsTreeAnswer tree_next_impl(VertexId v);
   void ensure(std::size_t n);
+  void ensure_session_arrays();
   void begin_epoch();
 
   std::vector<Node> node_;
   std::vector<VertexId> queue_;
   std::size_t expanded_count_ = 0;
   std::uint32_t epoch_ = 0;
+
+  // Terminal-tree session state (valid while tree_epoch_ == epoch_).
+  const Graph* tree_g_ = nullptr;
+  FaultView tree_faults_;
+  std::uint32_t tree_max_hops_ = 0;
+  std::uint32_t tree_epoch_ = 0;
+  std::size_t tree_head_ = 0;            ///< next queue position to pop
+  std::vector<std::uint32_t> tmark_;     ///< epoch-stamped: pending target
+  std::vector<std::uint32_t> amark_;     ///< epoch-stamped: answered target
+  std::vector<std::size_t> tpos_;        ///< answered target's expanded_prefix
 };
 
 /// Dijkstra: weighted distances (also correct on unweighted graphs).

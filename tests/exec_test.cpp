@@ -84,6 +84,47 @@ TEST(ThreadPool, ResolveThreads) {
   EXPECT_GE(exec::resolve_threads(0), 1u);  // auto: hardware concurrency
 }
 
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks) {
+  exec::ThreadPool pool(2);
+  EXPECT_EQ(pool.threads(), 2u);
+  pool.ensure_workers(5);
+  EXPECT_EQ(pool.threads(), 5u);
+  pool.ensure_workers(3);  // no-op
+  EXPECT_EQ(pool.threads(), 5u);
+  std::atomic<std::size_t> sum{0};
+  pool.run(40, [&](unsigned, std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 40u * 39u / 2u);
+}
+
+TEST(ThreadPool, MaxWorkersCapsParticipation) {
+  exec::ThreadPool pool(8);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(
+      kTasks,
+      [&](unsigned worker, std::size_t i) {
+        EXPECT_LT(worker, 3u);  // caller + workers 1..2 only
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*max_workers=*/3);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolIsProcessWideAndGrows) {
+  exec::ThreadPool& a = exec::shared_pool();
+  exec::ThreadPool& b = exec::shared_pool();
+  EXPECT_EQ(&a, &b);
+  a.ensure_workers(3);
+  EXPECT_GE(a.threads(), 3u);
+  std::atomic<std::size_t> count{0};
+  a.run(64, [&](unsigned, std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64u);
+}
+
 // ------------------------------------------- speculative greedy equivalence
 
 void expect_equivalent(const Graph& g, const SpannerParams& params,
@@ -179,6 +220,39 @@ TEST(SpeculativeGreedy, InstrumentationIsConsistent) {
   EXPECT_EQ(build.stats.search_sweeps, sequential.stats.search_sweeps);
   EXPECT_EQ(sequential.stats.spec_evaluated, 0u);
   EXPECT_EQ(sequential.stats.spec_windows, 0u);
+}
+
+TEST(SpeculativeGreedy, CallerOwnedPool) {
+  // ExecPolicy::pool routes the build through a caller-owned pool instead of
+  // the process-wide one; picks are unchanged.
+  Rng rng(109);
+  const Graph g = gnp(48, 0.25, rng);
+  exec::ThreadPool pool(6);
+  ModifiedGreedyConfig config;
+  config.exec.threads = 3;
+  config.exec.pool = &pool;
+  const auto build =
+      modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2}, config);
+  const auto sequential =
+      modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2});
+  EXPECT_EQ(build.picked, sequential.picked);
+  EXPECT_EQ(build.stats.search_sweeps, sequential.stats.search_sweeps);
+}
+
+TEST(SpeculativeGreedy, BatchingOffMatchesToo) {
+  Rng rng(110);
+  const Graph g = gnp(52, 0.22, rng);
+  ModifiedGreedyConfig batched, unbatched;
+  batched.exec.threads = 4;
+  unbatched.exec.threads = 4;
+  unbatched.batch_terminals = false;
+  const auto a = modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2}, batched);
+  const auto b =
+      modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2}, unbatched);
+  EXPECT_EQ(a.picked, b.picked);
+  EXPECT_EQ(a.stats.search_sweeps, b.stats.search_sweeps);
+  EXPECT_GT(a.stats.batched_sweeps, 0u);
+  EXPECT_EQ(b.stats.batched_sweeps, 0u);
 }
 
 TEST(SpeculativeGreedy, AutoThreadsResolves) {

@@ -1,0 +1,252 @@
+// Bit-identity tests for terminal-batched LBC: the resumable terminal-tree
+// session (BfsRunner::tree_begin / tree_next) must answer every target
+// exactly like a dedicated single-target search — distance, path, and the
+// expanded read set — and LbcSolver::decide_batched must reproduce decide()
+// down to cuts, sweep counts, and traces, at any query order and under
+// accept-driven re-batching.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/lbc.h"
+#include "core/modified_greedy.h"
+#include "graph/fault_mask.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/search.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+// --------------------------------------------------- terminal-tree sessions
+
+/// Checks every target of one session against fresh single-target searches.
+void expect_tree_matches_single_target(const Graph& g, VertexId s,
+                                       const std::vector<VertexId>& targets,
+                                       const FaultView& faults,
+                                       std::uint32_t max_hops) {
+  BfsRunner tree;
+  tree.tree_begin(g, s, targets, faults, max_hops);
+
+  BfsRunner single;
+  std::vector<PathStep> tree_path, single_path;
+  for (const VertexId v : targets) {
+    const BfsTreeAnswer answer = tree.tree_next(v);
+    const bool tree_found = answer.dist <= max_hops;
+
+    const bool single_found =
+        single.shortest_path_arcs(g, s, v, single_path, faults, max_hops);
+    ASSERT_EQ(tree_found, single_found) << "s=" << s << " v=" << v;
+    if (tree_found) {
+      tree.path_arcs_to(v, tree_path);
+      EXPECT_EQ(tree_path, single_path) << "s=" << s << " v=" << v;
+      EXPECT_EQ(answer.dist, tree_path.size() - 1);
+    }
+
+    // The per-target prefix must be the single-target read set, element for
+    // element (same expansion order, not just the same set).
+    const auto single_expanded = single.last_expanded();
+    const auto tree_expanded = tree.last_visited().first(answer.expanded_prefix);
+    ASSERT_EQ(tree_expanded.size(), single_expanded.size())
+        << "s=" << s << " v=" << v;
+    for (std::size_t i = 0; i < single_expanded.size(); ++i)
+      EXPECT_EQ(tree_expanded[i], single_expanded[i]) << "s=" << s << " v=" << v;
+
+    // Idempotent: asking again returns the identical answer.
+    const BfsTreeAnswer again = tree.tree_next(v);
+    EXPECT_EQ(again.dist, answer.dist);
+    EXPECT_EQ(again.expanded_prefix, answer.expanded_prefix);
+  }
+}
+
+TEST(TerminalTree, MatchesSingleTargetSearches) {
+  Rng rng(9001);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gnp(40 + 8 * trial, 0.12, rng);
+    for (const std::uint32_t max_hops : {1u, 2u, 3u, 5u}) {
+      const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+      std::vector<VertexId> targets;
+      for (VertexId v = 0; v < g.n(); ++v)
+        if (v != s) targets.push_back(v);
+      // Shuffled query order exercises out-of-order resume; duplicates
+      // exercise the answered-target fast path.
+      std::shuffle(targets.begin(), targets.end(), rng);
+      targets.push_back(targets.front());
+      expect_tree_matches_single_target(g, s, targets, FaultView{}, max_hops);
+    }
+  }
+}
+
+TEST(TerminalTree, MatchesSingleTargetSearchesUnderFaults) {
+  Rng rng(9002);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph g = gnp(48, 0.15, rng);
+    ScratchMask vertex_faults, edge_faults;
+    vertex_faults.ensure_universe(g.n());
+    edge_faults.ensure_universe(g.m());
+    for (int i = 0; i < 5; ++i)
+      vertex_faults.set(static_cast<VertexId>(rng.next_below(g.n())));
+    for (int i = 0; i < 10; ++i)
+      edge_faults.set(static_cast<EdgeId>(rng.next_below(g.m())));
+    const FaultView faults{vertex_faults.bytes(), edge_faults.bytes()};
+
+    const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+    if (!faults.vertex_alive(s)) continue;
+    std::vector<VertexId> targets;
+    for (VertexId v = 0; v < g.n(); ++v)
+      if (v != s) targets.push_back(v);  // includes failed targets
+    std::shuffle(targets.begin(), targets.end(), rng);
+    expect_tree_matches_single_target(g, s, targets, faults, 3);
+  }
+}
+
+TEST(TerminalTree, DisconnectedTargetsAreUnreachable) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(4, 5);  // separate component
+  const std::vector<VertexId> targets = {2, 4, 5, 3};
+  BfsRunner tree;
+  tree.tree_begin(g, 0, targets, {}, 10);
+  EXPECT_EQ(tree.tree_next(2).dist, 2u);
+  EXPECT_EQ(tree.tree_next(4).dist, kUnreachableHops);
+  EXPECT_EQ(tree.tree_next(5).dist, kUnreachableHops);
+  EXPECT_EQ(tree.tree_next(3).dist, kUnreachableHops);
+}
+
+TEST(TerminalTree, SessionEndsWithAnotherSearch) {
+  Rng rng(9003);
+  const Graph g = gnp(20, 0.3, rng);
+  BfsRunner runner;
+  const std::vector<VertexId> targets = {1, 2, 3};
+  runner.tree_begin(g, 0, targets, {}, 3);
+  (void)runner.tree_next(1);
+  (void)runner.hop_distance(g, 0, 2);  // unrelated search ends the session
+  EXPECT_THROW((void)runner.tree_next(2), std::invalid_argument);
+}
+
+// ----------------------------------------------------- batched LBC decisions
+
+void expect_batch_matches_decide(const Graph& g, FaultModel model,
+                                 std::uint32_t t, std::uint32_t alpha,
+                                 VertexId u,
+                                 const std::vector<VertexId>& targets) {
+  LbcSolver batched(model);
+  LbcSolver reference(model);
+  std::vector<LbcResult> results(targets.size());
+  std::vector<LbcTrace> traces(targets.size());
+  batched.decide_batch(g, u, targets, t, alpha, results, traces.data());
+
+  for (std::size_t j = 0; j < targets.size(); ++j) {
+    LbcTrace ref_trace;
+    const LbcResult ref =
+        reference.decide(g, u, targets[j], t, alpha, &ref_trace);
+    EXPECT_EQ(results[j].yes, ref.yes) << "target " << targets[j];
+    EXPECT_EQ(results[j].sweeps, ref.sweeps) << "target " << targets[j];
+    EXPECT_EQ(results[j].cut.model, ref.cut.model);
+    EXPECT_EQ(results[j].cut.ids, ref.cut.ids) << "target " << targets[j];
+    EXPECT_EQ(traces[j].expanded, ref_trace.expanded) << "target " << targets[j];
+  }
+  EXPECT_EQ(batched.total_sweeps(), reference.total_sweeps());
+  EXPECT_EQ(batched.trees_built(), 1u);
+  EXPECT_EQ(batched.batched_sweeps(), targets.size());
+  EXPECT_EQ(batched.tree_reuse_hits(), targets.size() - 1);
+}
+
+TEST(LbcBatch, MatchesPerPairDecisions) {
+  Rng rng(9010);
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    for (int trial = 0; trial < 5; ++trial) {
+      const Graph g = gnp(36, 0.2, rng);
+      const auto u = static_cast<VertexId>(rng.next_below(g.n()));
+      std::vector<VertexId> targets;
+      for (VertexId v = 0; v < g.n(); ++v)
+        if (v != u) targets.push_back(v);
+      std::shuffle(targets.begin(), targets.end(), rng);
+      const auto t = static_cast<std::uint32_t>(1 + rng.next_below(4));
+      const auto alpha = static_cast<std::uint32_t>(rng.next_below(4));
+      expect_batch_matches_decide(g, model, t, alpha, u, targets);
+    }
+  }
+}
+
+TEST(LbcBatch, DirectDecideEndsTheBatch) {
+  Rng rng(9011);
+  const Graph g = gnp(16, 0.4, rng);
+  LbcSolver solver(FaultModel::vertex);
+  const std::vector<VertexId> targets = {1, 2, 3};
+  solver.begin_batch(g, 0, targets, 3);
+  (void)solver.decide(g, 0, 1, 3, 1);
+  EXPECT_THROW((void)solver.decide_batched(1, 1), std::invalid_argument);
+}
+
+TEST(LbcBatch, GraphMutationIsCaught) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  LbcSolver solver(FaultModel::vertex);
+  const std::vector<VertexId> targets = {1, 2};
+  solver.begin_batch(g, 0, targets, 3);
+  (void)solver.decide_batched(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW((void)solver.decide_batched(1, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------ batched greedy equivalence
+
+void expect_greedy_batch_equivalence(const Graph& g,
+                                     const SpannerParams& params,
+                                     EdgeOrder order) {
+  ModifiedGreedyConfig on;
+  on.order = order;
+  on.record_certificates = true;
+  ModifiedGreedyConfig off = on;
+  off.batch_terminals = false;
+
+  const auto batched = modified_greedy_spanner(g, params, on);
+  const auto unbatched = modified_greedy_spanner(g, params, off);
+  EXPECT_EQ(batched.picked, unbatched.picked);
+  EXPECT_EQ(batched.stats.oracle_calls, unbatched.stats.oracle_calls);
+  EXPECT_EQ(batched.stats.search_sweeps, unbatched.stats.search_sweeps);
+  ASSERT_EQ(batched.certificates.size(), unbatched.certificates.size());
+  for (std::size_t i = 0; i < batched.certificates.size(); ++i)
+    EXPECT_EQ(batched.certificates[i].ids, unbatched.certificates[i].ids)
+        << "certificate " << i;
+  EXPECT_EQ(unbatched.stats.batched_sweeps, 0u);
+  EXPECT_EQ(unbatched.stats.tree_reuse_hits, 0u);
+  EXPECT_GT(batched.stats.batched_sweeps, 0u);
+}
+
+TEST(LbcBatch, GreedyPicksMatchUnbatched) {
+  Rng rng(9020);
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    const Graph g = gnp(56, 0.18, rng);
+    expect_greedy_batch_equivalence(
+        g, SpannerParams{.k = 2, .f = 2, .model = model}, EdgeOrder::input);
+  }
+}
+
+TEST(LbcBatch, GreedyPicksMatchUnbatchedWeighted) {
+  Rng rng(9021);
+  const Graph g0 = random_geometric(40, 0.3, rng);
+  const Graph g = with_uniform_weights(g0, 0.5, 2.0, rng);
+  expect_greedy_batch_equivalence(g, SpannerParams{.k = 3, .f = 1},
+                                  EdgeOrder::by_weight);
+}
+
+TEST(LbcBatch, GreedyPicksMatchUnbatchedRandomOrder) {
+  // Random order scatters same-endpoint runs, so batches are short and the
+  // singleton fast path dominates — results must still be identical.
+  Rng rng(9022);
+  const Graph g = gnp(48, 0.2, rng);
+  expect_greedy_batch_equivalence(g, SpannerParams{.k = 2, .f = 1},
+                                  EdgeOrder::random);
+}
+
+}  // namespace
+}  // namespace ftspan

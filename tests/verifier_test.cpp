@@ -102,6 +102,38 @@ TEST(Verifier, WeightedStretchIsMeasured) {
   EXPECT_TRUE(report.ok);
 }
 
+TEST(Verifier, ThreadedSampledVerificationIsBitIdentical) {
+  // verify_sampled fans trials over the shared pool; the report — counts,
+  // max stretch, and the worst witness — must match the sequential run
+  // exactly at any thread count.
+  Rng graph_rng(92);
+  const Graph g = gnp(40, 0.25, graph_rng);
+  Graph h(g.n());  // a deliberately bad "spanner": star on vertex 0's edges
+  for (EdgeId id = 0; id < g.m(); ++id) {
+    const auto& e = g.edge(id);
+    if (e.u == 0 || e.v == 0) h.add_edge(e.u, e.v, e.w);
+  }
+  const SpannerParams params{.k = 2, .f = 2};
+
+  Rng seq_rng(93);
+  const auto sequential = verify_sampled(g, h, params, 60, seq_rng);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    ExecPolicy exec;
+    exec.threads = threads;
+    Rng par_rng(93);
+    const auto parallel = verify_sampled(g, h, params, 60, par_rng, exec);
+    EXPECT_EQ(parallel.ok, sequential.ok) << "threads=" << threads;
+    EXPECT_EQ(parallel.fault_sets_checked, sequential.fault_sets_checked);
+    EXPECT_EQ(parallel.pairs_checked, sequential.pairs_checked);
+    EXPECT_DOUBLE_EQ(parallel.max_stretch, sequential.max_stretch);
+    EXPECT_EQ(parallel.worst.u, sequential.worst.u);
+    EXPECT_EQ(parallel.worst.v, sequential.worst.v);
+    EXPECT_DOUBLE_EQ(parallel.worst.d_g, sequential.worst.d_g);
+    EXPECT_DOUBLE_EQ(parallel.worst.d_h, sequential.worst.d_h);
+    EXPECT_EQ(parallel.worst.faults.ids, sequential.worst.faults.ids);
+  }
+}
+
 TEST(Verifier, StretchWitnessIsReproducible) {
   const Graph g = cycle_graph(8);
   Graph h(8);

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job (stdlib only).
+
+Walks every *.md file in the repository and verifies that each relative
+link target exists on disk (http(s)/mailto links and pure #anchors are
+skipped; an anchor suffix on a relative link is stripped before the check).
+Exits nonzero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "build", ".github"}
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    broken = []
+    checked = 0
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.parts):
+            continue
+        text = md.read_text(encoding="utf-8")
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            path = (md.parent / target.split("#", 1)[0]).resolve()
+            if not path.exists():
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{md}:{line}: broken link -> {target}")
+    for issue in broken:
+        print(issue)
+    print(f"checked {checked} relative links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,13 @@
 //
 //   ftspan_cli build  --in g.graph --out h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--algo modified|exact|dk11]
-//                     [--threads 1]   (modified only; 0 = all hardware threads)
+//                     [--threads 1] [--batch 1]   (modified only; --threads 0
+//                     = all hardware threads; --batch 0 disables terminal-
+//                     batched LBC — results are identical either way)
 //   ftspan_cli verify --in g.graph --spanner h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--trials 200] [--exhaustive]
+//                     [--threads 1]   (sampled only; fans trials over the
+//                     shared pool, report identical at any count)
 //   ftspan_cli info   --in g.graph
 //   ftspan_cli gen    --out g.graph --family gnp|geometric|grid|hypercube
 //                     [--n 256] [--p 0.1] [--seed 1] [--weighted]
@@ -33,9 +37,11 @@ using namespace ftspan;
 int usage() {
   std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
-               " [--algo modified|exact|dk11] [--seed 1] [--threads 1]\n"
+               " [--algo modified|exact|dk11] [--seed 1] [--threads 1]"
+               " [--batch 1]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
-               " [--model vertex|edge] [--trials 200] [--exhaustive]\n"
+               " [--model vertex|edge] [--trials 200] [--exhaustive]"
+               " [--threads 1]\n"
                "  info   --in G\n"
                "  gen    --out G --family gnp|geometric|grid|hypercube"
                " [--n 256] [--p 0.1] [--seed 1] [--weighted]\n";
@@ -71,6 +77,7 @@ int cmd_build(const Cli& cli) {
     if (threads < 0 || threads > 4096)
       throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
     config.exec.threads = static_cast<std::uint32_t>(threads);
+    config.batch_terminals = cli.get_int("batch", 1) != 0;
     auto build = modified_greedy_spanner(g, params, config);
     std::cout << "modified greedy: " << build.stats.oracle_calls
               << " LBC decisions, " << build.stats.seconds << " s, "
@@ -80,6 +87,9 @@ int cmd_build(const Cli& cli) {
                 << (100.0 * static_cast<double>(build.stats.oracle_calls) /
                     static_cast<double>(build.stats.spec_evaluated))
                 << "%";
+    if (build.stats.batched_sweeps > 0)
+      std::cout << ", " << build.stats.tree_reuse_hits
+                << " BFS runs saved by terminal batching";
     std::cout << "\n";
     h = std::move(build.spanner);
   } else if (algo == "exact") {
@@ -114,9 +124,14 @@ int cmd_verify(const Cli& cli) {
     report = verify_exhaustive(g, h, params);
   } else {
     Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    const std::int64_t threads = cli.get_int("threads", 1);
+    if (threads < 0 || threads > 4096)
+      throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
+    ExecPolicy exec;
+    exec.threads = static_cast<std::uint32_t>(threads);
     report = verify_sampled(
         g, h, params, static_cast<std::uint32_t>(cli.get_int("trials", 200)),
-        rng);
+        rng, exec);
   }
   std::cout << "checked " << report.fault_sets_checked << " fault sets, "
             << report.pairs_checked << " pairs\n"
