@@ -44,13 +44,15 @@ struct RunResult {
   std::uint64_t spec_wasted_sweeps = 0;
   std::uint64_t batched_sweeps = 0;
   std::uint64_t tree_reuse_hits = 0;
+  std::uint64_t masked_reuse_hits = 0;
+  std::uint64_t masked_tree_repairs = 0;
 };
 
 /// Best-of-`reps` timing of one greedy build (min is the stablest statistic
 /// for a deterministic workload on a shared machine).
 RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
                      std::uint32_t k, std::uint32_t threads, std::uint32_t reps,
-                     std::uint64_t seed, bool batch) {
+                     std::uint64_t seed, bool batch, bool masked) {
   Rng rng(seed + n);
   const Graph g = bench::gnp_with_degree(n, 16.0, rng);
   RunResult out;
@@ -66,6 +68,7 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
   ModifiedGreedyConfig config;
   config.exec.threads = out.threads_used;
   config.batch_terminals = batch;
+  config.masked_tree = masked;
   out.seconds = std::numeric_limits<double>::infinity();
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
     const Timer timer;
@@ -83,6 +86,8 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
       out.spec_wasted_sweeps = build.stats.spec_wasted_sweeps;
       out.batched_sweeps = build.stats.batched_sweeps;
       out.tree_reuse_hits = build.stats.tree_reuse_hits;
+      out.masked_reuse_hits = build.stats.masked_reuse_hits;
+      out.masked_tree_repairs = build.stats.masked_tree_repairs;
     }
   }
   return out;
@@ -103,7 +108,9 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
         << ", \"sweeps\": " << r.sweeps << ", \"spec_evals\": " << r.spec_evals
         << ", \"spec_wasted_sweeps\": " << r.spec_wasted_sweeps
         << ", \"batched_sweeps\": " << r.batched_sweeps
-        << ", \"tree_reuse_hits\": " << r.tree_reuse_hits << "}"
+        << ", \"tree_reuse_hits\": " << r.tree_reuse_hits
+        << ", \"masked_reuse_hits\": " << r.masked_reuse_hits
+        << ", \"masked_tree_repairs\": " << r.masked_tree_repairs << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -121,6 +128,7 @@ int main(int argc, char** argv) {
   const auto threads = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, cli.get_int("threads", 1)));
   const bool batch = cli.get_int("batch", 1) != 0;
+  const bool masked = cli.get_int("masked", 1) != 0;
   const auto json_path = cli.get("out", "BENCH_e4_runtime.json");
 
   bench::banner("E4 runtime",
@@ -140,10 +148,12 @@ int main(int argc, char** argv) {
       {128, 4, 2},  {512, 2, 3}, {1024, 2, 2}, {2048, 2, 2},
   };
   for (const auto& c : modified)
-    results.push_back(run_config("modified", c.n, c.f, c.k, 1, reps, seed, batch));
+    results.push_back(
+        run_config("modified", c.n, c.f, c.k, 1, reps, seed, batch, masked));
   if (threads > 1) {
     for (const auto& c : modified) {
-      RunResult r = run_config("modified", c.n, c.f, c.k, threads, reps, seed, batch);
+      RunResult r =
+          run_config("modified", c.n, c.f, c.k, threads, reps, seed, batch, masked);
       // Speedup vs the matching sequential row emitted above.
       for (const auto& base : results)
         if (base.algo == "modified" && base.n == r.n && base.f == r.f &&
@@ -158,11 +168,12 @@ int main(int argc, char** argv) {
       {16, 1, 2}, {16, 2, 2}, {32, 1, 2},
   };
   for (const auto& c : exact)
-    results.push_back(run_config("exact", c.n, c.f, c.k, 1, reps, seed, batch));
+    results.push_back(
+        run_config("exact", c.n, c.f, c.k, 1, reps, seed, batch, masked));
 
   Table table({"algo", "n", "m(G)", "f", "k", "thr", "m(H)", "secs", "speedup",
                "oracle-calls", "sweeps", "spec-evals", "wasted-sweeps",
-               "batched", "tree-hits"});
+               "batched", "tree-hits", "masked-hits", "repairs"});
   for (const auto& r : results)
     table.add_row({r.algo, Table::num(r.n), Table::num(r.m),
                    Table::num(static_cast<long long>(r.f)),
@@ -175,7 +186,9 @@ int main(int argc, char** argv) {
                    Table::num(static_cast<long long>(r.spec_evals)),
                    Table::num(static_cast<long long>(r.spec_wasted_sweeps)),
                    Table::num(static_cast<long long>(r.batched_sweeps)),
-                   Table::num(static_cast<long long>(r.tree_reuse_hits))});
+                   Table::num(static_cast<long long>(r.tree_reuse_hits)),
+                   Table::num(static_cast<long long>(r.masked_reuse_hits)),
+                   Table::num(static_cast<long long>(r.masked_tree_repairs))});
   table.print(std::cout);
 
   if (!write_json(json_path, results)) {

@@ -80,6 +80,11 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
   else
     cut_view.failed_edges = edge_cut_.bytes();
 
+  // Masked-tree mode: sweeps >= 1 read the shared terminal tree, repaired
+  // in place after each sweep's cut growth and rolled back at decision end.
+  const bool masked_tree = sweep0_from_tree && masked_tree_;
+  bool repaired = false;
+
   for (std::uint32_t i = 0; i <= alpha; ++i) {
     ++result.sweeps;
     ++total_sweeps_;
@@ -96,6 +101,14 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
              tree_bfs_.last_visited().first(answer.expanded_prefix))
           trace_mark_.set(x);
       if (found) tree_bfs_.path_arcs_to(v, path_);
+    } else if (masked_tree && i > 0) {
+      // Masked sweep served from the repaired tree: distance, lex-min path,
+      // and read set are bit-identical to the dedicated BFS below.
+      ++masked_sweeps_;
+      const std::uint32_t dist = tree_bfs_.tree_masked_dist(v);
+      found = dist <= t;
+      if (trace != nullptr) mark_masked_trace(v, dist, t);
+      if (found) tree_bfs_.tree_masked_path_arcs(v, path_);
     } else {
       // Sweep 0 runs before anything is cut; handing the BFS an empty view
       // lets it dispatch to the no-mask specialization (≈70% of all sweeps).
@@ -110,13 +123,26 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
     }
     if (model_ == FaultModel::vertex) {
       // Interior vertices only; u and v may never be cut.
+      const std::size_t before = vertex_cut_.touched().size();
       for (std::size_t j = 1; j + 1 < path_.size(); ++j)
         vertex_cut_.set(path_[j].to);
+      if (masked_tree && i < alpha) {  // the last sweep's cut is never read
+        tree_bfs_.tree_repair_cut(vertex_cut_.touched().subspan(before),
+                                  std::span<const EdgeId>{}, cut_view);
+        repaired = true;
+      }
     } else {
       // Every step after the source carries the edge it arrived over.
+      const std::size_t before = edge_cut_.touched().size();
       for (std::size_t j = 1; j < path_.size(); ++j) edge_cut_.set(path_[j].edge);
+      if (masked_tree && i < alpha) {
+        tree_bfs_.tree_repair_cut(std::span<const VertexId>{},
+                                  edge_cut_.touched().subspan(before), cut_view);
+        repaired = true;
+      }
     }
   }
+  if (repaired) tree_bfs_.tree_rollback();
 
   const auto& touched = model_ == FaultModel::vertex ? vertex_cut_.touched()
                                                      : edge_cut_.touched();
@@ -130,6 +156,28 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
     trace_mark_.reset_touched();
   }
   return result;
+}
+
+void LbcSolver::mark_masked_trace(VertexId v, std::uint32_t dist,
+                                  std::uint32_t t) {
+  // Reconstructs the dedicated BFS's exact expanded prefix from the repaired
+  // tree: everything strictly shallower than the target settles first, and
+  // within the target's own level the vertices popped before it are exactly
+  // those whose lex-min chain precedes the target's (discovery order).
+  // Unreachable targets expand the whole masked < t ball (the deepest level
+  // is frontier-pruned and never scanned).
+  const bool found = dist <= t;
+  const std::uint32_t below = found ? dist : t;
+  const bool level_part = found && dist < t;
+  for (const VertexId x : tree_bfs_.last_visited()) {
+    const std::uint32_t md = tree_bfs_.tree_masked_dist(x);
+    if (md < below) {
+      trace_mark_.set(x);
+    } else if (level_part && md == dist && x != v &&
+               tree_bfs_.tree_masked_before(x, v)) {
+      trace_mark_.set(x);
+    }
+  }
 }
 
 LbcResult lbc_decide(const Graph& g, VertexId u, VertexId v, std::uint32_t t,

@@ -51,6 +51,15 @@ class LbcSolver {
 
   [[nodiscard]] FaultModel model() const noexcept { return model_; }
 
+  /// Enables masked-tree repair for batched decisions: sweeps >= 1 run
+  /// against the shared terminal tree, repaired in place as the decision's
+  /// cut grows (BfsRunner::tree_repair_cut) and rolled back at decision end,
+  /// instead of one dedicated masked BFS per sweep.  Decisions,
+  /// certificates, sweep counts, and traces are bit-identical either way
+  /// (tests/differential_test.cpp pins this against the dedicated oracle).
+  void set_masked_tree(bool on) noexcept { masked_tree_ = on; }
+  [[nodiscard]] bool masked_tree() const noexcept { return masked_tree_; }
+
   /// Decides LBC(t, alpha) for terminals u, v on g.
   /// Requires u != v, both in range, t >= 1.
   /// When `trace` is non-null, also records the decision's read set into it.
@@ -122,12 +131,26 @@ class LbcSolver {
     return batched_sweeps_ - trees_built_;
   }
 
+  /// Masked sweeps served from the repaired shared tree — each one is a
+  /// dedicated masked BFS run eliminated (instrumentation; each still
+  /// counts 1 in total_sweeps()).
+  [[nodiscard]] std::uint64_t masked_reuse_hits() const noexcept {
+    return masked_sweeps_;
+  }
+
+  /// In-place tree repairs applied under growing cuts (instrumentation).
+  [[nodiscard]] std::uint64_t masked_tree_repairs() const noexcept {
+    return tree_bfs_.tree_repairs();
+  }
+
  private:
   LbcResult run_decision(const Graph& g, VertexId u, VertexId v,
                          std::uint32_t t, std::uint32_t alpha, LbcTrace* trace,
                          bool sweep0_from_tree);
+  void mark_masked_trace(VertexId v, std::uint32_t dist, std::uint32_t t);
 
   FaultModel model_;
+  bool masked_tree_ = false;
   BfsRunner bfs_;
   BfsRunner tree_bfs_;  ///< holds the shared tree; bfs_ serves sweeps >= 1
   ScratchMask vertex_cut_;
@@ -137,6 +160,7 @@ class LbcSolver {
   std::uint64_t total_sweeps_ = 0;
   std::uint64_t trees_built_ = 0;
   std::uint64_t batched_sweeps_ = 0;
+  std::uint64_t masked_sweeps_ = 0;
 
   // Open batch (valid until the next begin_batch / decide on this solver).
   const Graph* batch_g_ = nullptr;

@@ -64,6 +64,7 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   SpannerBuild build;
   build.spanner = Graph(g.n(), g.weighted());
   LbcSolver lbc(params.model);
+  lbc.set_masked_tree(config.masked_tree);
 
   const std::uint32_t t = params.stretch();
   // Algorithm 2 runs on the *unweighted* view of H — even for weighted G,
@@ -116,6 +117,8 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   build.stats.search_sweeps = lbc.total_sweeps();
   build.stats.batched_sweeps = lbc.batched_sweeps();
   build.stats.tree_reuse_hits = lbc.tree_reuse_hits();
+  build.stats.masked_reuse_hits = lbc.masked_reuse_hits();
+  build.stats.masked_tree_repairs = lbc.masked_tree_repairs();
   build.stats.seconds = timer.seconds();
   return build;
 }

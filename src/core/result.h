@@ -43,6 +43,12 @@ struct SpannerBuildStats {
   /// runs = logical sweeps - tree_reuse_hits; under speculation the saving
   /// applies to evaluated (committed + wasted) sweeps instead.
   std::uint64_t tree_reuse_hits = 0;
+  /// Masked sweeps (>= 1) served from the incrementally repaired shared
+  /// tree instead of a dedicated masked BFS — the masked-tree analogue of
+  /// tree_reuse_hits (same committed-vs-evaluated caveat under speculation).
+  std::uint64_t masked_reuse_hits = 0;
+  /// In-place terminal-tree repairs applied under growing cuts.
+  std::uint64_t masked_tree_repairs = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

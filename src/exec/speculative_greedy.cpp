@@ -52,8 +52,10 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   pool.ensure_workers(threads);
   std::vector<SearchArena> arenas;
   arenas.reserve(threads);
-  for (std::uint32_t w = 0; w < threads; ++w)
+  for (std::uint32_t w = 0; w < threads; ++w) {
     arenas.emplace_back(params.model, g.n(), g.m());
+    arenas.back().lbc.set_masked_tree(config.masked_tree);
+  }
 
   // Window schedule.  Any schedule yields identical picks; the adaptive one
   // grows while speculation pays off and shrinks after invalidation aborts,
@@ -150,6 +152,8 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   for (const auto& arena : arenas) {
     build.stats.batched_sweeps += arena.lbc.batched_sweeps();
     build.stats.tree_reuse_hits += arena.lbc.tree_reuse_hits();
+    build.stats.masked_reuse_hits += arena.lbc.masked_reuse_hits();
+    build.stats.masked_tree_repairs += arena.lbc.masked_tree_repairs();
   }
   return build;
 }

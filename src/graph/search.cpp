@@ -27,6 +27,19 @@ void BfsRunner::ensure_session_arrays() {
     tmark_.resize(node_.size(), 0);
     amark_.resize(node_.size(), 0);
     tpos_.resize(node_.size(), 0);
+    pidx_.resize(node_.size(), 0);
+  }
+}
+
+void BfsRunner::ensure_repair_arrays() {
+  if (rdist_.size() < node_.size()) {
+    rdist_.resize(node_.size(), 0);
+    rpar_.resize(node_.size(), 0);
+    redge_.resize(node_.size(), 0);
+    rpidx_.resize(node_.size(), 0);
+    rqueued_.resize(node_.size(), 0);
+    fstamp_.resize(node_.size(), 0);
+    mstamp_.resize(node_.size(), 0);
   }
 }
 
@@ -40,6 +53,8 @@ void BfsRunner::begin_epoch() {
   }
   queue_.clear();
   expanded_count_ = 0;
+  repair_ready_ = false;  // any new search or session drops the repair state
+  repair_dirty_ = false;
 }
 
 template <bool kCheckVertices, bool kCheckEdges>
@@ -163,6 +178,7 @@ void BfsRunner::tree_begin(const Graph& g, VertexId s,
   }
   if (!faults.vertex_alive(s)) return;  // empty tree: every answer unreachable
   node_[s] = Node{0, epoch_, kInvalidVertex, kInvalidEdge};
+  pidx_[s] = kInvalidVertex;
   queue_.push_back(s);
 }
 
@@ -195,7 +211,9 @@ BfsTreeAnswer BfsRunner::tree_next_impl(VertexId v) {
     ++expanded_count_;
     ++tree_head_;
     const bool frontier_next = du + 1 >= max_hops;
-    for (const auto& arc : g.neighbors(u)) {
+    const auto arcs = g.neighbors(u);
+    for (std::size_t ai = 0; ai < arcs.size(); ++ai) {
+      const auto& arc = arcs[ai];
       if (frontier_next && tmark_[arc.to] != epoch_) continue;
       if (node[arc.to].stamp == epoch_) continue;
       if constexpr (kCheckEdges) {
@@ -205,6 +223,9 @@ BfsTreeAnswer BfsRunner::tree_next_impl(VertexId v) {
         if (!faults.vertex_alive(arc.to)) continue;
       }
       node[arc.to] = Node{du + 1, epoch_, u, arc.edge};
+      // Discovery row index: the sigma component repairs compare to
+      // reconstruct discovery order without replaying the BFS.
+      pidx_[arc.to] = static_cast<std::uint32_t>(ai);
       queue_.push_back(arc.to);
     }
   }
@@ -214,6 +235,8 @@ BfsTreeAnswer BfsRunner::tree_next_impl(VertexId v) {
 BfsTreeAnswer BfsRunner::tree_next(VertexId v) {
   FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
                  "no open terminal-tree session (another search ended it?)");
+  FTSPAN_ASSERT(!repair_dirty_,
+                "tree_next with outstanding repairs (tree_rollback first)");
   FTSPAN_REQUIRE(v < tree_g_->n(), "tree target out of range");
   if (!tree_faults_.vertex_alive(v)) return {kUnreachableHops, 0};
   FTSPAN_REQUIRE(tmark_[v] == epoch_ || amark_[v] == epoch_,
@@ -226,6 +249,312 @@ BfsTreeAnswer BfsRunner::tree_next(VertexId v) {
   if (check_v) return tree_next_impl<true, false>(v);
   if (check_e) return tree_next_impl<false, true>(v);
   return tree_next_impl<false, false>(v);
+}
+
+// ------------------------------------------- masked-tree incremental repair
+
+namespace {
+// repair_array ids (RepairLogEntry::array).
+constexpr std::uint8_t kRDist = 0, kRPar = 1, kREdge = 2, kRPidx = 3;
+}  // namespace
+
+std::vector<std::uint32_t>& BfsRunner::repair_array(std::uint8_t id) {
+  switch (id) {
+    case kRDist: return rdist_;
+    case kRPar: return rpar_;
+    case kREdge: return redge_;
+    default: return rpidx_;
+  }
+}
+
+void BfsRunner::repair_set(std::uint8_t array, VertexId index,
+                           std::uint32_t value) {
+  auto& arr = repair_array(array);
+  rlog_.push_back(RepairLogEntry{array, index, arr[index]});
+  arr[index] = value;
+}
+
+void BfsRunner::tree_complete() {
+  FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
+                 "no open terminal-tree session (another search ended it?)");
+  // kInvalidVertex matches no popped vertex, so the session runs to
+  // exhaustion; pending targets are answered exactly as tree_next would
+  // have answered them (the settle marking happens on pop regardless).
+  const bool check_v = !tree_faults_.failed_vertices.empty();
+  const bool check_e = !tree_faults_.failed_edges.empty();
+  if (check_v && check_e)
+    (void)tree_next_impl<true, true>(kInvalidVertex);
+  else if (check_v)
+    (void)tree_next_impl<true, false>(kInvalidVertex);
+  else if (check_e)
+    (void)tree_next_impl<false, true>(kInvalidVertex);
+  else
+    (void)tree_next_impl<false, false>(kInvalidVertex);
+}
+
+void BfsRunner::repair_init() {
+  FTSPAN_REQUIRE(tree_max_hops_ != kUnreachableHops,
+                 "masked-tree repair requires a finite session max_hops");
+  tree_complete();
+  ensure_repair_arrays();
+  for (const VertexId x : queue_) {
+    rdist_[x] = node_[x].dist;
+    rpar_[x] = node_[x].parent;
+    redge_[x] = node_[x].parent_arc;
+    rpidx_[x] = pidx_[x];
+  }
+  if (rbuckets_.size() < static_cast<std::size_t>(tree_max_hops_) + 2)
+    rbuckets_.resize(static_cast<std::size_t>(tree_max_hops_) + 2);
+  rlog_.clear();
+  ++mserial_;  // a fresh batch starts with no re-pick marks
+  if (mserial_ == 0) {
+    for (auto& stamp : mstamp_) stamp = 0;
+    mserial_ = 1;
+  }
+  repair_ready_ = true;
+  repair_dirty_ = false;
+}
+
+void BfsRunner::repair_enqueue(VertexId w) {
+  // Dedup while queued (several neighbors may report the same dependent);
+  // the stamp clears on pop so a vertex re-threatened after surviving one
+  // support check is re-examined.
+  if (rqueued_[w] == rqueue_stamp_) return;
+  rqueued_[w] = rqueue_stamp_;
+  rbuckets_[rdist_[w]].push_back(w);
+}
+
+bool BfsRunner::sigma_less(VertexId a, VertexId b) const {
+  // Discovery order compares the two chains' row-index sequences from the
+  // source outward; since both chains are rooted at the same source, the
+  // first root-side divergence is exactly the pair of arcs entering their
+  // lowest common ancestor.  Walking both chains (same depth) in lockstep
+  // until the parents meet finds it in O(depth) with no materialization —
+  // distinct same-level vertices always meet, at the source if nowhere
+  // earlier, and two distinct children of the meet vertex cannot share a
+  // row index.  Both chains must be resolved (repair_resolve) first.
+  VertexId x1 = a, x2 = b;
+  while (true) {
+    const VertexId p1 = rpar_[x1], p2 = rpar_[x2];
+    if (p1 == p2) return rpidx_[x1] < rpidx_[x2];
+    x1 = p1;
+    x2 = p2;
+  }
+}
+
+void BfsRunner::repair_resolve(VertexId w) {
+  // Re-establishes the lex-min invariant for w's stored chain under the
+  // accumulated cut, lazily: distances are maintained eagerly by
+  // tree_repair_cut, but parent arcs are only re-chosen for the vertices a
+  // query actually touches.  Soundness rests on monotonicity: masking only
+  // removes paths, so every vertex's lex-min sigma can only grow — a stored
+  // chain that is still *intact* (links alive, levels consecutive) kept its
+  // old sigma and therefore is still the minimum.  Only broken chains need
+  // a tournament, and the tournament recursion descends strictly one level,
+  // memoized per repair state via fstamp_.
+  if (fstamp_[w] == fserial_) return;
+  const std::uint32_t d = rdist_[w];
+  if (d == 0) {  // the session source: root of every chain
+    fstamp_[w] = fserial_;
+    return;
+  }
+  const bool check_edges = !repair_cut_.failed_edges.empty();
+  const Graph& g = *tree_g_;
+
+  // Fast path: walk the stored chain all the way to the source.  The chain
+  // is trusted only if every link is intact (consecutive levels, arc alive)
+  // AND no vertex on it has been re-picked at any point this decision
+  // (mstamp_): an untouched intact chain is the clean chain with its
+  // original sigma value, which monotonicity keeps minimal; a chain through
+  // any re-picked vertex lost that anchor and must re-run the tournament.
+  bool valid = mstamp_[w] != mserial_;
+  for (VertexId x = w; valid;) {
+    const VertexId p = rpar_[x];
+    if (rdist_[p] != rdist_[x] - 1) {  // p cut, raised, or level-shifted
+      valid = false;
+      break;
+    }
+    if (check_edges && !repair_cut_.edge_alive(redge_[x])) {
+      valid = false;
+      break;
+    }
+    if (mstamp_[p] == mserial_) {  // p re-picked this decision
+      valid = false;
+      break;
+    }
+    if (rdist_[p] == 0) break;  // reached the source: fully intact
+    x = p;
+  }
+  if (valid) {
+    // The walk verified every suffix chain too: mark the whole run fresh.
+    for (VertexId y = w; fstamp_[y] != fserial_;) {
+      fstamp_[y] = fserial_;
+      if (rdist_[y] == 0) break;
+      y = rpar_[y];
+    }
+    return;
+  }
+
+  // Tournament: the dedicated BFS would have discovered w from the lex-min
+  // alive neighbor one level up, over that neighbor's first alive arc to w.
+  VertexId best = kInvalidVertex;
+  for (const auto& arc : g.neighbors(w)) {
+    if (check_edges && !repair_cut_.edge_alive(arc.edge)) continue;
+    const VertexId x = arc.to;
+    if (node_[x].stamp != epoch_ || rdist_[x] != d - 1) continue;
+    if (x == best) continue;  // parallel-arc repeat
+    repair_resolve(x);
+    if (best == kInvalidVertex || sigma_less(x, best)) best = x;
+  }
+  FTSPAN_ASSERT(best != kInvalidVertex,
+                "repair_resolve: no support one level up (distance repair "
+                "out of sync)");
+  const auto row = g.neighbors(best);
+  std::size_t ri = 0;
+  EdgeId via = kInvalidEdge;
+  for (; ri < row.size(); ++ri) {
+    if (row[ri].to != w) continue;
+    if (check_edges && !repair_cut_.edge_alive(row[ri].edge)) continue;
+    via = row[ri].edge;
+    break;
+  }
+  FTSPAN_ASSERT(via != kInvalidEdge, "repair_resolve: discovery arc vanished");
+  const bool changed = best != rpar_[w] || via != redge_[w];
+  if (changed) {
+    repair_set(kRPar, w, best);
+    repair_set(kREdge, w, via);
+    repair_set(kRPidx, w, static_cast<std::uint32_t>(ri));
+    // Sticky for the rest of the decision: chains through w lost their
+    // clean-sigma anchor, so later validity walks must not trust them.
+    mstamp_[w] = mserial_;
+  }
+  fstamp_[w] = fserial_;
+}
+
+void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
+                                std::span<const EdgeId> edges,
+                                const FaultView& cut) {
+  FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
+                 "no open terminal-tree session (another search ended it?)");
+  if (!repair_ready_) repair_init();
+  ++repair_count_;
+  repair_dirty_ = true;
+  repair_cut_ = cut;  // retained for lazy resolution until the next rollback
+  if (++rqueue_stamp_ == 0) {  // wrapped: invalidate all dedup stamps
+    for (auto& stamp : rqueued_) stamp = 0;
+    rqueue_stamp_ = 1;
+  }
+  if (++fserial_ == 0) {  // wrapped: invalidate all freshness stamps
+    for (auto& stamp : fstamp_) stamp = 0;
+    fserial_ = 1;
+  }
+  const Graph& g = *tree_g_;
+  const bool check_edges = !cut.failed_edges.empty();
+
+  // Seed the work list with the dependents of every newly cut element: only
+  // vertices one level below a cut vertex / behind a cut arc can have lost
+  // their distance support.
+  for (const VertexId c : vertices) {
+    if (c >= node_.size() || node_[c].stamp != epoch_) continue;  // off-tree
+    if (rdist_[c] == kUnreachableHops) continue;  // already unreachable
+    const std::uint32_t dc = rdist_[c];
+    repair_set(kRDist, c, kUnreachableHops);  // c leaves the graph outright
+    for (const auto& arc : g.neighbors(c))
+      if (node_[arc.to].stamp == epoch_ && rdist_[arc.to] == dc + 1)
+        repair_enqueue(arc.to);
+  }
+  for (const EdgeId e : edges) {
+    const Edge& ed = g.edge(e);
+    if (ed.u >= node_.size() || node_[ed.u].stamp != epoch_ ||
+        ed.v >= node_.size() || node_[ed.v].stamp != epoch_)
+      continue;
+    const std::uint32_t du = rdist_[ed.u], dv = rdist_[ed.v];
+    if (du == kUnreachableHops || dv == kUnreachableHops) continue;
+    if (du == dv + 1)
+      repair_enqueue(ed.u);
+    else if (dv == du + 1)
+      repair_enqueue(ed.v);
+  }
+
+  // Even-Shiloach pass, level by level: a vertex keeps its level iff some
+  // alive arc still reaches a vertex one level up; otherwise it sinks one
+  // level (re-examined from the deeper bucket, its dependents re-checked)
+  // or falls off the tree past max_hops.  Levels only ever rise, so when
+  // bucket d runs every rdist == d-1 is final.
+  for (std::uint32_t d = 1; d <= tree_max_hops_; ++d) {
+    auto& bucket = rbuckets_[d];
+    for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
+      const VertexId w = bucket[bi];
+      rqueued_[w] = 0;  // popped: later threats must re-enqueue
+      if (rdist_[w] != d) continue;  // stale entry
+      bool supported = false;
+      for (const auto& arc : g.neighbors(w)) {
+        if (check_edges && !cut.edge_alive(arc.edge)) continue;
+        if (node_[arc.to].stamp == epoch_ && rdist_[arc.to] == d - 1) {
+          supported = true;
+          break;
+        }
+      }
+      if (supported) continue;
+      const bool off = d + 1 > tree_max_hops_;
+      repair_set(kRDist, w, off ? kUnreachableHops : d + 1);
+      for (const auto& arc : g.neighbors(w))
+        if (node_[arc.to].stamp == epoch_ && rdist_[arc.to] == d + 1)
+          repair_enqueue(arc.to);
+      if (!off) repair_enqueue(w);
+    }
+    bucket.clear();
+  }
+}
+
+std::uint32_t BfsRunner::tree_masked_dist(VertexId v) const {
+  FTSPAN_ASSERT(tree_g_ != nullptr && tree_epoch_ == epoch_,
+                "tree_masked_dist outside a session");
+  if (v >= node_.size() || node_[v].stamp != epoch_) return kUnreachableHops;
+  return repair_ready_ ? rdist_[v] : node_[v].dist;
+}
+
+void BfsRunner::tree_masked_path_arcs(VertexId v, std::vector<PathStep>& out) {
+  FTSPAN_ASSERT(repair_ready_ && tree_epoch_ == epoch_,
+                "tree_masked_path_arcs without repair state");
+  FTSPAN_ASSERT(v < node_.size() && node_[v].stamp == epoch_ &&
+                    rdist_[v] != kUnreachableHops,
+                "tree_masked_path_arcs target is not in the repaired tree");
+  repair_resolve(v);  // after which the stored chain is the lex-min path
+  out.clear();
+  for (VertexId x = v; x != kInvalidVertex; x = rpar_[x])
+    out.push_back(PathStep{x, redge_[x]});
+  std::reverse(out.begin(), out.end());
+}
+
+bool BfsRunner::tree_masked_before(VertexId x, VertexId v) {
+  FTSPAN_ASSERT(repair_ready_ && tree_epoch_ == epoch_,
+                "tree_masked_before without repair state");
+  repair_resolve(x);
+  repair_resolve(v);
+  return sigma_less(x, v);
+}
+
+void BfsRunner::tree_rollback() {
+  FTSPAN_ASSERT(repair_ready_ && tree_epoch_ == epoch_,
+                "tree_rollback without repair state");
+  for (std::size_t i = rlog_.size(); i-- > 0;) {
+    const RepairLogEntry& e = rlog_[i];
+    repair_array(e.array)[e.index] = e.value;
+  }
+  rlog_.clear();
+  repair_cut_ = FaultView{};
+  ++fserial_;  // freshness marks belong to the rolled-back state
+  if (fserial_ == 0) {
+    for (auto& stamp : fstamp_) stamp = 0;
+    fserial_ = 1;
+  }
+  ++mserial_;  // re-pick marks die with the decision's cut
+  if (mserial_ == 0) {
+    for (auto& stamp : mstamp_) stamp = 0;
+    mserial_ = 1;
+  }
+  repair_dirty_ = false;
 }
 
 void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>& out,

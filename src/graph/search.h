@@ -137,6 +137,77 @@ class BfsRunner {
   /// format as shortest_path_arcs; does not re-run anything.
   void path_arcs_to(VertexId v, std::vector<PathStep>& out) const;
 
+  // --- incremental repair under a growing cut (masked-tree LBC) -----------
+  //
+  // Once a session's tree is complete, it can survive cut growth: instead of
+  // re-running a dedicated BFS for every masked sweep of an LBC decision,
+  // tree_repair_cut() repairs the shared tree in place and the masked
+  // queries read the repaired structure.  The repaired answers are
+  // bit-identical to a dedicated masked BFS because the discovery-order BFS
+  // tree has an order-free characterization: every vertex's tree path is the
+  // shortest path whose sequence of adjacency-row indices is
+  // lexicographically minimal ("lex-min"), and under a growing mask the only
+  // vertices whose lex-min chain can change are the tree descendants of the
+  // newly cut elements (masking never creates paths, so no surviving chain
+  // can be beaten by a new one).  Repair therefore:
+  // splits in two:
+  //   1. distances repair EAGERLY (Even-Shiloach): starting from the
+  //      dependents of the newly cut elements, a vertex keeps its level iff
+  //      some alive arc still reaches a vertex one level up, else it sinks
+  //      level by level (its own dependents re-checked), falling off the
+  //      tree past max_hops — no tournaments, touch set proportional to the
+  //      vertices whose distance actually changes;
+  //   2. parent arcs repair LAZILY (repair_resolve): sigma monotonicity
+  //      means an intact stored chain is still lex-min, so only the chains a
+  //      query actually reads (the reported path, trace-order comparisons)
+  //      are validated in O(depth), and only genuinely broken ones re-run
+  //      the lex-min tournament one level up.
+  // Every overlay write is logged so tree_rollback() restores the clean
+  // tree in O(log size) for the next decision of the batch.  All repair
+  // state lives beside the session (node_ itself is never touched), so
+  // pending tree_next answers are unaffected.
+
+  /// Expands the open session to exhaustion (the full <= max_hops ball).
+  /// Every pending target is answered exactly as an explicit tree_next
+  /// would have answered it; later tree_next calls just read the memo.
+  void tree_complete();
+
+  /// Applies one cut increment to the (completed) tree of the open session:
+  /// `vertices` leave the graph entirely (vertex fault model), `edges` are
+  /// the newly failed edge ids (edge model), and `cut` must view the FULL
+  /// accumulated cut (used for arc-alive checks while re-attaching).
+  /// Requires a session with finite max_hops; completes the tree on first
+  /// use.  Repairs accumulate until tree_rollback().
+  void tree_repair_cut(std::span<const VertexId> vertices,
+                       std::span<const EdgeId> edges, const FaultView& cut);
+
+  /// Masked hop distance of `v` in the repaired tree: bit-identical to what
+  /// a dedicated BFS under the accumulated cut would report (cut and
+  /// beyond-max_hops vertices report kUnreachableHops).
+  [[nodiscard]] std::uint32_t tree_masked_dist(VertexId v) const;
+
+  /// Lex-min masked shortest path to `v` (which must satisfy
+  /// tree_masked_dist(v) <= max_hops), bit-identical to
+  /// shortest_path_arcs under the accumulated cut.  Resolves the chain
+  /// lazily (hence non-const).
+  void tree_masked_path_arcs(VertexId v, std::vector<PathStep>& out);
+
+  /// True when the repaired chain of `x` precedes the repaired chain of `v`
+  /// in dedicated-BFS discovery order (both at the same masked depth): the
+  /// lexicographic sigma comparison that reconstructs exact per-sweep read
+  /// sets without replaying the BFS.  Resolves both chains lazily.
+  [[nodiscard]] bool tree_masked_before(VertexId x, VertexId v);
+
+  /// Undoes every tree_repair_cut since the last rollback, restoring the
+  /// clean shared tree (cost proportional to the repairs performed).
+  void tree_rollback();
+
+  /// Cut increments applied via tree_repair_cut (instrumentation).
+  [[nodiscard]] std::uint64_t tree_repairs() const noexcept {
+    return repair_count_;
+  }
+
+
   /// Pre-sizes the per-vertex state — including the terminal-tree session
   /// arrays — for graphs with up to `n` vertices, so the first search or
   /// session allocates nothing (per-thread arena warm-up).  Runners that
@@ -145,6 +216,7 @@ class BfsRunner {
   void reserve(std::size_t n) {
     ensure(n);
     ensure_session_arrays();
+    ensure_repair_arrays();
   }
 
  private:
@@ -166,7 +238,22 @@ class BfsRunner {
   BfsTreeAnswer tree_next_impl(VertexId v);
   void ensure(std::size_t n);
   void ensure_session_arrays();
+  void ensure_repair_arrays();
   void begin_epoch();
+
+  // --- repair internals ---
+  /// One logged write: repair_arrays()[array][index] held `value`.
+  struct RepairLogEntry {
+    std::uint8_t array;
+    VertexId index;
+    std::uint32_t value;
+  };
+  std::vector<std::uint32_t>& repair_array(std::uint8_t id);
+  void repair_init();
+  void repair_set(std::uint8_t array, VertexId index, std::uint32_t value);
+  void repair_enqueue(VertexId w);
+  void repair_resolve(VertexId w);
+  bool sigma_less(VertexId a, VertexId b) const;
 
   std::vector<Node> node_;
   std::vector<VertexId> queue_;
@@ -182,6 +269,27 @@ class BfsRunner {
   std::vector<std::uint32_t> tmark_;     ///< epoch-stamped: pending target
   std::vector<std::uint32_t> amark_;     ///< epoch-stamped: answered target
   std::vector<std::size_t> tpos_;        ///< answered target's expanded_prefix
+  std::vector<std::uint32_t> pidx_;      ///< discovery row index (clean tree)
+
+  // Masked-tree repair state (valid while repair_ready_ for this session).
+  // rdist_/rpar_/redge_/rpidx_ mirror the clean tree at repair_init and are
+  // mutated (with logging) by distance repairs and lazy chain resolution;
+  // fstamp_ memoizes resolution per repair state (fserial_ bumps on every
+  // repair and rollback) while mstamp_ marks re-picked links per decision
+  // (mserial_ bumps on rollback), so stale marks die without a sweep.
+  bool repair_ready_ = false;
+  bool repair_dirty_ = false;
+  std::uint64_t repair_count_ = 0;
+  FaultView repair_cut_;  ///< the accumulated cut, for lazy resolution
+  std::vector<std::uint32_t> rdist_, rpar_, redge_, rpidx_;
+  std::vector<std::uint32_t> rqueued_;  ///< in-queue dedup stamps
+  std::uint32_t rqueue_stamp_ = 0;
+  std::vector<std::uint32_t> fstamp_;  ///< chain resolved at this fserial_
+  std::uint32_t fserial_ = 0;
+  std::vector<std::uint32_t> mstamp_;  ///< link re-picked at this mserial_
+  std::uint32_t mserial_ = 0;          ///< bumps per decision (rollback)
+  std::vector<RepairLogEntry> rlog_;
+  std::vector<std::vector<VertexId>> rbuckets_;   ///< per-level work queues
 };
 
 /// Dijkstra: weighted distances (also correct on unweighted graphs).

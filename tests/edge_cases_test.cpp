@@ -1,0 +1,170 @@
+// Degenerate-input sweep: f = 0, k = 1, disconnected graphs, and
+// single-vertex / empty graphs through the modified greedy (every engine
+// variant), the verifier, and the batched / masked-tree LBC paths.  Several
+// of these previously passed only by accident — this file makes the
+// contracts explicit.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lbc.h"
+#include "core/modified_greedy.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+/// All engine variants must agree and the result must verify exhaustively.
+void expect_build_ok(const Graph& g, const SpannerParams& params) {
+  ModifiedGreedyConfig ref_config;
+  ref_config.order = EdgeOrder::input;
+  ref_config.batch_terminals = false;
+  ref_config.masked_tree = false;
+  const auto ref = modified_greedy_spanner(g, params, ref_config);
+
+  for (const bool batch : {false, true}) {
+    for (const bool masked : {false, true}) {
+      for (const std::uint32_t threads : {1u, 2u}) {
+        ModifiedGreedyConfig config;
+        config.order = EdgeOrder::input;
+        config.batch_terminals = batch;
+        config.masked_tree = masked;
+        config.exec.threads = threads;
+        const auto build = modified_greedy_spanner(g, params, config);
+        EXPECT_EQ(build.picked, ref.picked)
+            << g.summary() << " k=" << params.k << " f=" << params.f
+            << " batch=" << batch << " masked=" << masked
+            << " threads=" << threads;
+        EXPECT_EQ(build.stats.search_sweeps, ref.stats.search_sweeps)
+            << g.summary() << " batch=" << batch << " masked=" << masked;
+      }
+    }
+  }
+
+  const auto report = verify_exhaustive(g, ref.spanner, params);
+  EXPECT_TRUE(report.ok) << g.summary() << " k=" << params.k
+                         << " f=" << params.f << " max_stretch "
+                         << report.max_stretch;
+}
+
+TEST(EdgeCases, ZeroFaultsDegeneratesToClassicGreedy) {
+  // f = 0 means alpha = 0: a single sweep per decision, never a masked one.
+  Rng rng(501);
+  const Graph g = gnp(24, 0.25, rng);
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge})
+    expect_build_ok(g, SpannerParams{.k = 2, .f = 0, .model = model});
+}
+
+TEST(EdgeCases, StretchOneKeepsAllNonRedundantEdges) {
+  // k = 1 (t = 1): an edge is spanned only by a parallel edge, which the
+  // Graph type forbids, so the greedy must keep every edge of G.
+  Rng rng(502);
+  const Graph g = gnp(18, 0.3, rng);
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    const SpannerParams params{.k = 1, .f = 2, .model = model};
+    expect_build_ok(g, params);
+    const auto build = modified_greedy_spanner(g, params);
+    EXPECT_EQ(build.spanner.m(), g.m()) << to_string(model);
+  }
+}
+
+TEST(EdgeCases, DisconnectedInput) {
+  // Two components plus isolated vertices: cross-component decisions are
+  // YES at sweep 0 (unreachable), exercising empty-tree sessions.
+  Graph g(11);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(6, 7);
+  g.add_edge(7, 4);
+  // vertices 3, 8, 9, 10 are isolated
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    expect_build_ok(g, SpannerParams{.k = 2, .f = 1, .model = model});
+    expect_build_ok(g, SpannerParams{.k = 2, .f = 3, .model = model});
+  }
+}
+
+TEST(EdgeCases, SingleVertexAndEmptyGraphs) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    const Graph g(n);  // no edges at all
+    for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+      const SpannerParams params{.k = 2, .f = 1, .model = model};
+      const auto build = modified_greedy_spanner(g, params);
+      EXPECT_EQ(build.spanner.m(), 0u);
+      EXPECT_EQ(build.stats.oracle_calls, 0u);
+      const auto report = verify_exhaustive(g, build.spanner, params);
+      EXPECT_TRUE(report.ok) << "n=" << n;
+    }
+  }
+}
+
+TEST(EdgeCases, TwoVertexGraph) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    expect_build_ok(g, SpannerParams{.k = 2, .f = 2, .model = model});
+    const auto build =
+        modified_greedy_spanner(g, SpannerParams{.k = 2, .f = 2, .model = model});
+    EXPECT_EQ(build.picked, std::vector<EdgeId>{0});
+  }
+}
+
+TEST(EdgeCases, BatchedLbcOnDegenerateInputs) {
+  // Batched + masked-tree decisions on a disconnected graph: unreachable
+  // targets, one-hop targets (empty cut growth), and f = 0 single sweeps.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(4, 5);
+  const std::vector<VertexId> targets = {1, 2, 3, 4, 5, 6};
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    for (const std::uint32_t alpha : {0u, 1u, 3u}) {
+      LbcSolver masked(model);
+      masked.set_masked_tree(true);
+      LbcSolver reference(model);
+      std::vector<LbcResult> results(targets.size());
+      std::vector<LbcTrace> traces(targets.size());
+      masked.decide_batch(g, 0, targets, 3, alpha, results, traces.data());
+      for (std::size_t j = 0; j < targets.size(); ++j) {
+        LbcTrace ref_trace;
+        const LbcResult ref =
+            reference.decide(g, 0, targets[j], 3, alpha, &ref_trace);
+        EXPECT_EQ(results[j].yes, ref.yes)
+            << to_string(model) << " alpha=" << alpha << " target=" << targets[j];
+        EXPECT_EQ(results[j].sweeps, ref.sweeps)
+            << to_string(model) << " alpha=" << alpha << " target=" << targets[j];
+        EXPECT_EQ(results[j].cut.ids, ref.cut.ids)
+            << to_string(model) << " alpha=" << alpha << " target=" << targets[j];
+        EXPECT_EQ(traces[j].expanded, ref_trace.expanded)
+            << to_string(model) << " alpha=" << alpha << " target=" << targets[j];
+      }
+    }
+  }
+}
+
+TEST(EdgeCases, VerifierOnDegenerateInputs) {
+  // The verifier must accept H == G on disconnected inputs (stretch is
+  // measured only between pairs G\F itself connects).
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const SpannerParams params{.k = 2, .f = 1};
+  const auto exhaustive = verify_exhaustive(g, g, params);
+  EXPECT_TRUE(exhaustive.ok);
+  Rng rng(77);
+  const auto sampled = verify_sampled(g, g, params, 10, rng);
+  EXPECT_TRUE(sampled.ok);
+
+  const Graph single(1);
+  EXPECT_TRUE(verify_exhaustive(single, single, params).ok);
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -1,0 +1,143 @@
+// Metamorphic soundness of LbcTrace read sets: the documented contract says
+// appending an edge to g whose endpoints BOTH lie outside trace.expanded
+// cannot change the decision — no sweep ever read the arc rows that grew, so
+// a replay is bit-identical.  This is the exact contract the speculative
+// engine's invalidation test (src/exec/) relies on, for every oracle flavor:
+// plain decide, terminal-batched decide_batched, and masked-tree repair.
+// Each case mutates the graph strictly outside the recorded read set and
+// asserts the decision, certificate, sweep count, and trace are unchanged.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/lbc.h"
+#include "graph/fault_mask.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+/// Appends up to `want` edges to `g` between vertices outside `expanded`
+/// (the trace read set), returning how many were added.  Endpoints inside
+/// the read set are skipped — mutating those is allowed to change results.
+std::size_t add_edges_outside(Graph& g, const std::vector<VertexId>& expanded,
+                              std::size_t want, Rng& rng) {
+  ScratchMask inside;
+  inside.ensure_universe(g.n());
+  for (const VertexId x : expanded) inside.set(x);
+
+  std::vector<VertexId> outside;
+  for (VertexId v = 0; v < g.n(); ++v)
+    if (!inside.test(v)) outside.push_back(v);
+  if (outside.size() < 2) return 0;
+
+  std::size_t added = 0;
+  for (std::size_t attempt = 0; attempt < 8 * want && added < want; ++attempt) {
+    const VertexId a = outside[rng.next_below(outside.size())];
+    const VertexId b = outside[rng.next_below(outside.size())];
+    if (a == b || g.has_edge(a, b)) continue;
+    g.add_edge(a, b);
+    ++added;
+  }
+  return added;
+}
+
+void expect_same_decision(const LbcResult& after, const LbcTrace& after_trace,
+                          const LbcResult& before,
+                          const LbcTrace& before_trace,
+                          const std::string& ctx) {
+  EXPECT_EQ(after.yes, before.yes) << ctx;
+  EXPECT_EQ(after.sweeps, before.sweeps) << ctx;
+  EXPECT_EQ(after.cut.ids, before.cut.ids) << ctx;
+  EXPECT_EQ(after_trace.expanded, before_trace.expanded) << ctx;
+}
+
+TEST(ReadSetSoundness, DecideUnchangedByEditsOutsideTrace) {
+  std::size_t mutated_cases = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(0x5ead5e7ULL * seed + seed);
+    const Graph g = gnp(36, 0.10 + 0.03 * static_cast<double>(seed % 4), rng);
+    const auto u = static_cast<VertexId>(rng.next_below(g.n()));
+    auto v = static_cast<VertexId>(rng.next_below(g.n()));
+    if (v == u) v = (v + 1) % static_cast<VertexId>(g.n());
+    const auto t = static_cast<std::uint32_t>(1 + rng.next_below(4));
+    const auto alpha = static_cast<std::uint32_t>(rng.next_below(4));
+    const std::string ctx = "seed=" + std::to_string(seed);
+
+    for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+      LbcSolver solver(model);
+      LbcTrace trace;
+      const LbcResult before = solver.decide(g, u, v, t, alpha, &trace);
+
+      Graph mutated = g;
+      if (add_edges_outside(mutated, trace.expanded, 4, rng) == 0) continue;
+      ++mutated_cases;
+
+      LbcTrace after_trace;
+      const LbcResult after =
+          solver.decide(mutated, u, v, t, alpha, &after_trace);
+      expect_same_decision(after, after_trace, before, trace,
+                           ctx + " model=" + to_string(model));
+    }
+  }
+  EXPECT_GT(mutated_cases, 0u) << "harness never mutated a graph";
+}
+
+TEST(ReadSetSoundness, BatchedAndMaskedTracesAreSound) {
+  std::size_t mutated_cases = 0;
+  for (std::uint64_t seed = 21; seed <= 28; ++seed) {
+    Rng rng(0xb47cULL * seed + 5);
+    const Graph g = gnp(40, 0.12, rng);
+    const auto u = static_cast<VertexId>(rng.next_below(g.n()));
+    std::vector<VertexId> targets;
+    for (VertexId v = 0; v < g.n(); ++v)
+      if (v != u) targets.push_back(v);
+    std::shuffle(targets.begin(), targets.end(), rng);
+    targets.resize(8);
+    const std::uint32_t t = 3;
+    const auto alpha = static_cast<std::uint32_t>(1 + rng.next_below(3));
+
+    for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+      for (const bool masked : {false, true}) {
+        LbcSolver solver(model);
+        solver.set_masked_tree(masked);
+        std::vector<LbcResult> results(targets.size());
+        std::vector<LbcTrace> traces(targets.size());
+        solver.decide_batch(g, u, targets, t, alpha, results, traces.data());
+
+        for (std::size_t j = 0; j < targets.size(); ++j) {
+          Graph mutated = g;
+          Rng edit_rng(seed * 131 + j);
+          if (add_edges_outside(mutated, traces[j].expanded, 3, edit_rng) == 0)
+            continue;
+          ++mutated_cases;
+
+          // Replay the single decision against the mutated graph through the
+          // same oracle flavor (a one-target batch) and the plain oracle.
+          LbcSolver replay(model);
+          replay.set_masked_tree(masked);
+          std::vector<LbcResult> replay_results(1);
+          std::vector<LbcTrace> replay_traces(1);
+          const std::vector<VertexId> one{targets[j]};
+          replay.decide_batch(mutated, u, one, t, alpha, replay_results,
+                              replay_traces.data());
+          expect_same_decision(replay_results[0], replay_traces[0], results[j],
+                               traces[j],
+                               "seed=" + std::to_string(seed) + " j=" +
+                                   std::to_string(j) + " masked=" +
+                                   std::to_string(masked) + " model=" +
+                                   to_string(model));
+        }
+      }
+    }
+  }
+  EXPECT_GT(mutated_cases, 0u) << "harness never mutated a graph";
+}
+
+}  // namespace
+}  // namespace ftspan

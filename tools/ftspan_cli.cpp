@@ -3,9 +3,10 @@
 //
 //   ftspan_cli build  --in g.graph --out h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--algo modified|exact|dk11]
-//                     [--threads 1] [--batch 1]   (modified only; --threads 0
-//                     = all hardware threads; --batch 0 disables terminal-
-//                     batched LBC — results are identical either way)
+//                     [--threads 1] [--batch 1] [--masked 1]   (modified
+//                     only; --threads 0 = all hardware threads; --batch 0
+//                     disables terminal-batched LBC, --masked 0 disables
+//                     masked-tree repair — results are identical either way)
 //   ftspan_cli verify --in g.graph --spanner h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--trials 200] [--exhaustive]
 //                     [--threads 1]   (sampled only; fans trials over the
@@ -38,7 +39,7 @@ int usage() {
   std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
                " [--algo modified|exact|dk11] [--seed 1] [--threads 1]"
-               " [--batch 1]\n"
+               " [--batch 1] [--masked 1]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
                " [--model vertex|edge] [--trials 200] [--exhaustive]"
                " [--threads 1]\n"
@@ -78,6 +79,7 @@ int cmd_build(const Cli& cli) {
       throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
     config.exec.threads = static_cast<std::uint32_t>(threads);
     config.batch_terminals = cli.get_int("batch", 1) != 0;
+    config.masked_tree = cli.get_int("masked", 1) != 0;
     auto build = modified_greedy_spanner(g, params, config);
     std::cout << "modified greedy: " << build.stats.oracle_calls
               << " LBC decisions, " << build.stats.seconds << " s, "
@@ -90,6 +92,10 @@ int cmd_build(const Cli& cli) {
     if (build.stats.batched_sweeps > 0)
       std::cout << ", " << build.stats.tree_reuse_hits
                 << " BFS runs saved by terminal batching";
+    if (build.stats.masked_reuse_hits > 0)
+      std::cout << ", " << build.stats.masked_reuse_hits
+                << " masked BFS runs served by tree repair ("
+                << build.stats.masked_tree_repairs << " repairs)";
     std::cout << "\n";
     h = std::move(build.spanner);
   } else if (algo == "exact") {
