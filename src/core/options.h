@@ -37,6 +37,18 @@ struct ExecPolicy {
   /// Fixed speculation window size; 0 = adaptive (recommended — grows on
   /// full commits, shrinks on invalidation aborts).
   std::uint32_t window = 0;
+  /// Pipeline the commit phase with the next window's evaluation: workers
+  /// evaluate window i+1 against the last-committed H snapshot while the
+  /// calling thread commits window i (double-buffered windows).  Results are
+  /// bit-identical either way — invalidation is still driven by the exact
+  /// per-decision read sets; the switch exists for A/B benchmarks and the
+  /// differential tests.
+  bool overlap = true;
+  /// Split dominant terminal batches into claimable chunks on the pool so a
+  /// long same-endpoint run no longer pins one worker while the rest idle
+  /// (work stealing via the pool's chunk cursor).  Bit-identical results;
+  /// only the physical tree-reuse counters change.  A/B switch.
+  bool steal = true;
   /// Pool the engine fans work over.  nullptr = the process-wide shared pool
   /// (exec::shared_pool()), grown on demand; engines never spawn a private
   /// pool per build.  Set to run against a caller-owned exec::ThreadPool.

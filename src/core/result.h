@@ -49,6 +49,14 @@ struct SpannerBuildStats {
   std::uint64_t masked_reuse_hits = 0;
   /// In-place terminal-tree repairs applied under growing cuts.
   std::uint64_t masked_tree_repairs = 0;
+  /// Windows whose evaluation overlapped the previous window's commit phase
+  /// (the double-buffered pipeline; 0 sequentially or with overlap off).
+  /// Includes overlapped windows later discarded by an invalidation abort.
+  std::uint64_t overlap_windows = 0;
+  /// Extra claimable chunks split off dominant terminal batches so idle
+  /// workers could steal them (chunks beyond the first per split batch;
+  /// 0 with stealing off).
+  std::uint64_t stolen_chunks = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

@@ -1,6 +1,7 @@
 #include "exec/speculative_greedy.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -12,22 +13,37 @@ namespace ftspan::exec {
 
 namespace {
 
-/// One window slot: the speculative decision plus its read set.
+/// One window slot: the speculative decision plus its read set.  `evaluated`
+/// distinguishes slots a cancelled round never ran from real (wasted) work.
 struct EvalSlot {
   LbcResult result;
   LbcTrace trace;
+  bool evaluated = false;
 };
 
-/// True when an edge accepted after this slot's evaluation could change its
-/// decision: some accepted endpoint lies in the slot's BFS read set, so a
-/// replay against the updated H might traverse the new edge.
-bool invalidated(const EvalSlot& slot, std::span<const VertexId> accepted) {
-  const auto& expanded = slot.trace.expanded;
-  for (const VertexId endpoint : accepted)
-    if (std::binary_search(expanded.begin(), expanded.end(), endpoint))
-      return true;
-  return false;
-}
+/// A claimable unit of evaluate work: the slot range [lo, hi).  hi - lo > 1
+/// means the slots share their first endpoint and are decided through one
+/// terminal tree; chunks split off the same batch rebuild their own tree
+/// (decide_batched is bit-identical regardless of batch composition).
+struct Chunk {
+  std::uint32_t lo, hi;
+};
+
+/// Floor on a stolen chunk's size: below this, rebuilding the terminal tree
+/// per chunk costs more sweep-0 BFS work than the stolen parallelism buys.
+constexpr std::size_t kMinStealChunk = 8;
+
+/// One of the two pipelined windows.  `task` owns the round's body (the pool
+/// keeps only a pointer, so it must outlive wait()/cancel()).
+struct Window {
+  std::vector<EvalSlot> slots;
+  std::vector<Chunk> chunks;
+  ThreadPool::Task task;
+  ThreadPool::Round round;
+  std::size_t pos = 0;    ///< scan position of slot 0
+  std::size_t w = 0;      ///< slot count
+  std::size_t epoch = 0;  ///< picks reflected in the snapshot it was read from
+};
 
 }  // namespace
 
@@ -45,7 +61,7 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   const std::uint32_t t = params.stretch();
 
   // No pool-per-build: reuse the policy's pool (default: the process-wide
-  // shared pool), grown once to the requested width.  run() below caps
+  // shared pool), grown once to the requested width.  submit() below caps
   // participation at `threads`, so a wider shared pool stays within budget.
   ThreadPool& pool =
       config.exec.pool != nullptr ? *config.exec.pool : shared_pool();
@@ -57,98 +73,186 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
     arenas.back().lbc.set_masked_tree(config.masked_tree);
   }
 
+  // Evaluations read a snapshot of H, never the live spanner: the pipelined
+  // commit phase mutates build.spanner while workers evaluate the next
+  // window.  The snapshot lags by at most one commit phase and catches up by
+  // replaying the accepted-edge log (build.picked) between rounds — appends
+  // in pick order, so its edge ids match the live spanner's exactly and
+  // certificates recorded against it stay valid.
+  Graph snapshot(g.n(), g.weighted());
+  snapshot.reserve_edges(g.m());
+  std::size_t applied = 0;  // picks replayed into the snapshot
+  const auto catch_up = [&] {
+    for (; applied < build.picked.size(); ++applied) {
+      const Edge& e = g.edge(build.picked[applied]);
+      snapshot.add_edge(e.u, e.v, e.w);
+    }
+  };
+
+  // True when an edge accepted after this slot's evaluation could change its
+  // decision: some endpoint picked since the slot's snapshot epoch lies in
+  // its BFS read set, so a replay against the updated H might traverse the
+  // new edge.  An empty suffix (epoch == picks) always commits — the slot
+  // was evaluated against exactly the H of its commit point.
+  const auto invalidated = [&](const EvalSlot& slot, std::size_t epoch) {
+    const auto& expanded = slot.trace.expanded;
+    for (std::size_t idx = epoch; idx < build.picked.size(); ++idx) {
+      const Edge& e = g.edge(build.picked[idx]);
+      if (std::binary_search(expanded.begin(), expanded.end(), e.u) ||
+          std::binary_search(expanded.begin(), expanded.end(), e.v))
+        return true;
+    }
+    return false;
+  };
+
   // Window schedule.  Any schedule yields identical picks; the adaptive one
   // grows while speculation pays off and shrinks after invalidation aborts,
   // which bounds wasted work in the accept-heavy early phase of the scan.
   const bool adaptive = config.exec.window == 0;
-  const std::size_t min_window = std::max<std::size_t>(std::size_t{2} * threads, 4);
+  const std::size_t min_window =
+      std::max<std::size_t>(std::size_t{2} * threads, 4);
   const std::size_t max_window = std::max<std::size_t>(min_window, 512);
   std::size_t window = adaptive ? min_window : config.exec.window;
 
-  std::vector<EvalSlot> slots(std::min<std::size_t>(
-      adaptive ? max_window : window, std::max<std::size_t>(order.size(), 1)));
-  std::vector<VertexId> accepted;  // endpoints accepted this commit phase
+  // Brings the snapshot current, carves the window at `p` into claimable
+  // chunks (terminal batches, with dominant batches split for stealing), and
+  // starts the asynchronous evaluate round.
+  const auto launch = [&](Window& win, std::size_t p, bool overlapped) {
+    catch_up();
+    win.pos = p;
+    win.w = std::min(window, order.size() - p);
+    win.epoch = applied;
+    if (win.slots.size() < win.w) win.slots.resize(win.w);
+    for (std::size_t i = 0; i < win.w; ++i) win.slots[i].evaluated = false;
 
-  // Terminal batches inside the current window: a maximal run of consecutive
-  // candidates sharing their first endpoint is one task, decided by one
-  // worker through a shared terminal tree (H is frozen for the whole
-  // evaluate phase, so the tree never invalidates mid-batch).
-  struct BatchRange {
-    std::size_t begin, end;  // slot indices
-  };
-  std::vector<BatchRange> batches;
-
-  std::size_t pos = 0;
-  while (pos < order.size()) {
-    const std::size_t w = std::min(window, order.size() - pos);
-    if (slots.size() < w) slots.resize(w);
-
-    batches.clear();
-    for (std::size_t i = 0; i < w;) {
+    // Terminal batches: a maximal run of consecutive candidates sharing
+    // their first endpoint (H is frozen for the whole evaluate phase, so a
+    // shared tree never invalidates mid-batch).  A batch longer than half a
+    // worker's fair share of the window is split into claimable chunks so it
+    // no longer pins one worker while the rest idle; each chunk regrows its
+    // own tree, which decide_batched keeps bit-identical.
+    const std::size_t fair = (win.w + threads - 1) / threads;
+    const std::size_t chunk_len =
+        std::max<std::size_t>(kMinStealChunk, (fair + 1) / 2);
+    win.chunks.clear();
+    for (std::size_t i = 0; i < win.w;) {
       std::size_t j = i + 1;
       if (config.batch_terminals) {
-        const VertexId shared_u = g.edge(order[pos + i]).u;
-        while (j < w && g.edge(order[pos + j]).u == shared_u) ++j;
+        const VertexId shared_u = g.edge(order[p + i]).u;
+        while (j < win.w && g.edge(order[p + j]).u == shared_u) ++j;
       }
-      batches.push_back({i, j});
+      const std::size_t len = j - i;
+      if (config.exec.steal && threads > 1 && len > chunk_len) {
+        const std::size_t pieces = (len + chunk_len - 1) / chunk_len;
+        const std::size_t even = (len + pieces - 1) / pieces;
+        for (std::size_t q = i; q < j; q += even)
+          win.chunks.push_back({static_cast<std::uint32_t>(q),
+                                static_cast<std::uint32_t>(std::min(q + even, j))});
+        build.stats.stolen_chunks += pieces - 1;
+      } else {
+        win.chunks.push_back(
+            {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+      }
       i = j;
     }
 
-    // Evaluate phase: H is frozen; every worker reads it through its own
-    // arena and writes only its own slots.
+    win.task = [&win, &g, &arenas, &snapshot, order, p, t,
+                f = params.f](unsigned worker, std::size_t c) {
+      const auto [lo, hi] = win.chunks[c];
+      SearchArena& arena = arenas[worker];
+      if (hi - lo == 1) {
+        EvalSlot& slot = win.slots[lo];
+        const Edge& e = g.edge(order[p + lo]);
+        slot.result = arena.lbc.decide(snapshot, e.u, e.v, t, f, &slot.trace);
+        slot.evaluated = true;
+        return;
+      }
+      arena.targets.clear();
+      for (std::size_t i = lo; i < hi; ++i)
+        arena.targets.push_back(g.edge(order[p + i]).v);
+      arena.lbc.begin_batch(snapshot, g.edge(order[p + lo]).u, arena.targets,
+                            t);
+      for (std::size_t i = lo; i < hi; ++i) {
+        EvalSlot& slot = win.slots[i];
+        slot.result = arena.lbc.decide_batched(i - lo, f, &slot.trace);
+        slot.evaluated = true;
+      }
+    };
+    win.round = pool.submit(win.chunks.size(), win.task, threads);
     ++build.stats.spec_windows;
-    build.stats.spec_evaluated += w;
-    pool.run(
-        batches.size(),
-        [&](unsigned worker, std::size_t b) {
-          const auto [lo, hi] = batches[b];
-          SearchArena& arena = arenas[worker];
-          if (hi - lo == 1) {
-            const Edge& e = g.edge(order[pos + lo]);
-            slots[lo].result = arena.lbc.decide(build.spanner, e.u, e.v, t,
-                                                params.f, &slots[lo].trace);
-            return;
-          }
-          arena.targets.clear();
-          for (std::size_t i = lo; i < hi; ++i)
-            arena.targets.push_back(g.edge(order[pos + i]).v);
-          arena.lbc.begin_batch(build.spanner, g.edge(order[pos + lo]).u,
-                                arena.targets, t);
-          for (std::size_t i = lo; i < hi; ++i)
-            slots[i].result =
-                arena.lbc.decide_batched(i - lo, params.f, &slots[i].trace);
-        },
-        threads);
+    // A non-dispatched round defers its whole body to the next wait(), after
+    // the commit phase — no overlap actually happens, so don't claim any.
+    if (overlapped && win.round.dispatched()) ++build.stats.overlap_windows;
+  };
 
-    // Commit phase, in scan order.  The first slot always commits: it was
-    // evaluated against exactly the H of its commit point.
-    accepted.clear();
+  // Drops a window whose positions the scan will never reach (the previous
+  // commit aborted short of it): unclaimed chunks are cancelled outright,
+  // already-evaluated slots are accounted as waste.
+  const auto discard = [&](Window& win) {
+    win.round.cancel();
+    for (std::size_t i = 0; i < win.w; ++i) {
+      if (!win.slots[i].evaluated) continue;
+      ++build.stats.spec_evaluated;
+      build.stats.spec_wasted_sweeps += win.slots[i].result.sweeps;
+    }
+  };
+
+  Window windows[2];
+  int cur = 0;
+  std::size_t pos = 0;
+  if (!order.empty()) launch(windows[cur], 0, /*overlapped=*/false);
+
+  while (pos < order.size()) {
+    Window& win = windows[cur];  // invariant: launched, win.pos == pos
+    win.round.wait();
+    build.stats.spec_evaluated += win.w;
+
+    // Pipeline: before committing this window, start evaluating the next one
+    // (optimistically assuming a full commit) against the snapshot, which is
+    // current as of this commit phase's start.  The caller thread commits
+    // below while pool workers evaluate; it joins them at the next wait().
+    Window& next = windows[1 - cur];
+    const std::size_t next_pos = win.pos + win.w;
+    const bool pipelined = config.exec.overlap && next_pos < order.size();
+    if (pipelined) launch(next, next_pos, /*overlapped=*/true);
+
+    // Commit phase, in scan order on this thread.  A slot commits as long as
+    // no pick since its snapshot epoch intersects its read set; the first
+    // failure aborts the window and the scan re-speculates from there.
     std::size_t committed = 0;
-    for (; committed < w; ++committed) {
-      EvalSlot& slot = slots[committed];
-      if (!accepted.empty() && invalidated(slot, accepted)) break;
+    for (; committed < win.w; ++committed) {
+      EvalSlot& slot = win.slots[committed];
+      if (invalidated(slot, win.epoch)) break;
       ++build.stats.oracle_calls;
       build.stats.search_sweeps += slot.result.sweeps;
       if (slot.result.yes) {
-        const EdgeId id = order[pos + committed];
+        const EdgeId id = order[win.pos + committed];
         const Edge& e = g.edge(id);
         build.spanner.add_edge(e.u, e.v, e.w);
         build.picked.push_back(id);
         if (config.record_certificates)
           build.certificates.push_back(std::move(slot.result.cut));
-        accepted.push_back(e.u);
-        accepted.push_back(e.v);
       }
     }
-    for (std::size_t i = committed; i < w; ++i)
-      build.stats.spec_wasted_sweeps += slots[i].result.sweeps;
-    pos += committed;
+    for (std::size_t i = committed; i < win.w; ++i)
+      build.stats.spec_wasted_sweeps += win.slots[i].result.sweeps;
+    pos = win.pos + committed;
 
     if (adaptive) {
-      window = committed == w ? std::min(window * 2, max_window)
-                              : std::max(window / 2, min_window);
+      window = committed == win.w ? std::min(window * 2, max_window)
+                                  : std::max(window / 2, min_window);
+    }
+
+    if (committed == win.w && pipelined) {
+      cur = 1 - cur;  // the overlapped window is aligned with pos: adopt it
+    } else {
+      // Aborted (or the pipeline was off/at the scan's end): the overlapped
+      // window, if any, covers positions the scan rewound past.
+      if (pipelined) discard(next);
+      if (pos < order.size()) launch(win, pos, /*overlapped=*/false);
     }
   }
+
   for (const auto& arena : arenas) {
     build.stats.batched_sweeps += arena.lbc.batched_sweeps();
     build.stats.tree_reuse_hits += arena.lbc.tree_reuse_hits();

@@ -1,8 +1,9 @@
 // Cross-engine differential fuzz harness: every engine variant of the
 // modified greedy — sequential | speculative, terminal-batched on/off,
-// masked-tree repair on/off, several thread counts — must produce
-// bit-identical picks, certificates, oracle-call and sweep counts on seeded
-// random inputs across both fault models.  A second tier pins the
+// masked-tree repair on/off, pipelined overlap on/off, terminal-batch work
+// stealing on/off, several thread counts — must produce bit-identical picks,
+// certificates, oracle-call and sweep counts on seeded random inputs across
+// both fault models.  A second tier pins the
 // masked-tree LBC oracle itself (decide_batched with repair) against the
 // dedicated per-pair oracle down to cuts and traces.  Every assertion names
 // the failing seed so a red run is reproducible from the log alone.
@@ -29,16 +30,25 @@ struct EngineVariant {
   bool batch;
   bool masked;
   std::uint32_t threads;
+  bool overlap;
+  bool steal;
 };
 
+// The speculative rows sweep the overlap (pipelined commit/evaluate windows)
+// x steal (terminal-batch chunk stealing) axes at threads {2, 8}; threads 1
+// is the sequential engine, where both knobs are inert by construction.
 constexpr EngineVariant kVariants[] = {
-    {"seq-batched", true, false, 1},
-    {"seq-masked-tree", true, true, 1},
-    {"seq-masked-no-batch", false, true, 1},  // masked is inert without batch
-    {"spec-2t", true, false, 2},
-    {"spec-2t-masked", true, true, 2},
-    {"spec-8t-masked", true, true, 8},
-    {"spec-8t-unbatched", false, false, 8},
+    {"seq-batched", true, false, 1, true, true},
+    {"seq-masked-tree", true, true, 1, true, true},
+    {"seq-masked-no-batch", false, true, 1, true, true},  // masked inert alone
+    {"spec-2t", true, false, 2, true, true},
+    {"spec-2t-masked", true, true, 2, true, true},
+    {"spec-2t-no-overlap", true, true, 2, false, true},
+    {"spec-2t-no-steal", true, true, 2, true, false},
+    {"spec-2t-barrier", true, true, 2, false, false},
+    {"spec-8t-masked", true, true, 8, true, true},
+    {"spec-8t-barrier", true, true, 8, false, false},
+    {"spec-8t-unbatched", false, false, 8, true, true},
 };
 
 /// Runs every variant against the sequential-unbatched-unmasked reference
@@ -66,6 +76,8 @@ void expect_engines_agree(const Graph& g, const SpannerParams& params,
     config.batch_terminals = variant.batch;
     config.masked_tree = variant.masked;
     config.exec.threads = variant.threads;
+    config.exec.overlap = variant.overlap;
+    config.exec.steal = variant.steal;
     const auto build = modified_greedy_spanner(g, params, config);
 
     ASSERT_EQ(build.picked, ref.picked) << ctx << " variant=" << variant.name;
@@ -80,6 +92,14 @@ void expect_engines_agree(const Graph& g, const SpannerParams& params,
           << ctx << " variant=" << variant.name << " certificate=" << i;
     if (!variant.batch) {
       EXPECT_EQ(build.stats.masked_reuse_hits, 0u)
+          << ctx << " variant=" << variant.name;
+    }
+    if (!variant.overlap || variant.threads == 1) {
+      EXPECT_EQ(build.stats.overlap_windows, 0u)
+          << ctx << " variant=" << variant.name;
+    }
+    if (!variant.steal || variant.threads == 1) {
+      EXPECT_EQ(build.stats.stolen_chunks, 0u)
           << ctx << " variant=" << variant.name;
     }
   }
@@ -161,8 +181,9 @@ void expect_masked_oracle_matches(const Graph& g, FaultModel model,
   EXPECT_EQ(masked.masked_reuse_hits(),
             masked.total_sweeps() - masked.batched_sweeps())
       << ctx;
-  if (expect_masked_hits)  // guard against the harness passing vacuously
+  if (expect_masked_hits) {  // guard against the harness passing vacuously
     EXPECT_GT(masked.masked_reuse_hits(), 0u) << ctx;
+  }
 }
 
 TEST(Differential, MaskedTreeOracleMatchesDedicatedBfs) {

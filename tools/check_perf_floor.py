@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI gate for the perf-multicore bench lane.
+
+Validates a BENCH_e4_runtime.json produced on a multicore runner:
+
+1. the runner really was multicore: at least one modified row ran with
+   threads_used > 1, and every multi-thread row has a measured (non-null)
+   speedup vs its own 1-thread baseline row;
+2. the engine is bit-identical across thread counts: `sweeps` and
+   `spanner_m` agree for every (algo, n, f, k) across all rows of the main
+   file, and across every supplied A/B file (--batch/--masked/--overlap/
+   --steal off) — scheduling knobs may never change decisions;
+3. no config regressed by more than the budget vs the checked-in per-config
+   floor (bench/ci_perf_floor.json): seconds <= floor_seconds * (1 + slack).
+
+Usage:
+  check_perf_floor.py MAIN.json --floor bench/ci_perf_floor.json \
+      [--ab AB1.json AB2.json ...] [--slack 0.25]
+
+Exits non-zero with a per-failure report; prints the recorded speedups so
+the CI log shows the perf trajectory at a glance.
+"""
+
+import argparse
+import json
+import sys
+
+
+def config_key(row):
+    return (row["algo"], row["n"], row["f"], row["k"])
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("main", help="BENCH_e4_runtime.json from the perf lane")
+    parser.add_argument("--floor", required=True,
+                        help="checked-in per-config floor (ci_perf_floor.json)")
+    parser.add_argument("--ab", nargs="*", default=[],
+                        help="A/B run JSONs that must keep sweeps/spanner_m")
+    parser.add_argument("--slack", type=float, default=0.25,
+                        help="allowed regression over the floor (default 25%%)")
+    args = parser.parse_args()
+
+    rows = load(args.main)
+    failures = []
+
+    # 1. Multicore proof: the lane exists to measure threads, so a clamped
+    #    (threads_used == 1) run means the runner cannot validate anything.
+    multi = [r for r in rows if r["algo"] == "modified" and r["threads"] > 1]
+    if not multi:
+        failures.append("no multi-thread modified rows in %s" % args.main)
+    elif not any(r["threads_used"] > 1 for r in multi):
+        failures.append(
+            "every multi-thread row clamped to threads_used == 1 — the "
+            "runner is not multicore; nothing was measured")
+    for r in multi:
+        if r["speedup"] is None:
+            failures.append(
+                "row %s threads=%d has no measured speedup (null) — the "
+                "1-thread baseline row is missing" % (config_key(r), r["threads"]))
+
+    # 2. Bit-identity across thread counts and across the A/B knob files.
+    reference = {}
+    for r in rows:
+        key = config_key(r)
+        ident = (r["sweeps"], r["spanner_m"])
+        if key not in reference:
+            reference[key] = (ident, r["threads"])
+        elif reference[key][0] != ident:
+            failures.append(
+                "%s: threads=%s gives sweeps/spanner_m %s but threads=%s "
+                "gave %s — the engine is not bit-identical across thread "
+                "counts" % (key, r["threads"], ident, reference[key][1],
+                            reference[key][0]))
+    for path in args.ab:
+        for r in load(path):
+            key = config_key(r)
+            if key not in reference:
+                failures.append("%s: config %s absent from %s"
+                                % (path, key, args.main))
+            elif reference[key][0] != (r["sweeps"], r["spanner_m"]):
+                failures.append(
+                    "%s: config %s gives sweeps/spanner_m %s but the main "
+                    "run gave %s — an A/B knob changed decisions"
+                    % (path, key, (r["sweeps"], r["spanner_m"]),
+                       reference[key][0]))
+
+    # 3. Regression gate against the checked-in floor.
+    floors = load(args.floor)
+    indexed = {(config_key(r) + (r["threads"],)): r for r in rows}
+    for floor in floors:
+        key = (floor["algo"], floor["n"], floor["f"], floor["k"],
+               floor["threads"])
+        row = indexed.get(key)
+        if row is None:
+            failures.append("floor config %s missing from %s" % (key, args.main))
+            continue
+        budget = floor["seconds"] * (1.0 + args.slack)
+        if row["seconds"] > budget:
+            failures.append(
+                "%s: %.4fs exceeds the floor %.4fs + %d%% slack (= %.4fs)"
+                % (key, row["seconds"], floor["seconds"],
+                   round(args.slack * 100), budget))
+
+    print("perf-multicore lane: %d rows, %d floor configs, %d A/B files"
+          % (len(rows), len(floors), len(args.ab)))
+    for r in sorted(multi, key=lambda r: (config_key(r), r["threads"])):
+        print("  %-28s threads=%d used=%d  %.4fs  speedup=%s"
+              % ("%s n=%d f=%d k=%d" % config_key(r), r["threads"],
+                 r["threads_used"], r["seconds"],
+                 "%.2fx" % r["speedup"] if r["speedup"] is not None else "null"))
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for failure in failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+    print("all checks passed: multicore measured, bit-identical, within floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,13 @@
 //
 //   ftspan_cli build  --in g.graph --out h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--algo modified|exact|dk11]
-//                     [--threads 1] [--batch 1] [--masked 1]   (modified
-//                     only; --threads 0 = all hardware threads; --batch 0
-//                     disables terminal-batched LBC, --masked 0 disables
-//                     masked-tree repair — results are identical either way)
+//                     [--threads 1] [--batch 1] [--masked 1] [--overlap 1]
+//                     [--steal 1]   (modified only; --threads 0 = all
+//                     hardware threads; --batch 0 disables terminal-batched
+//                     LBC, --masked 0 disables masked-tree repair,
+//                     --overlap 0 disables the pipelined commit/evaluate
+//                     windows, --steal 0 disables terminal-batch work
+//                     stealing — results are identical either way)
 //   ftspan_cli verify --in g.graph --spanner h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--trials 200] [--exhaustive]
 //                     [--threads 1]   (sampled only; fans trials over the
@@ -39,7 +42,7 @@ int usage() {
   std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
                " [--algo modified|exact|dk11] [--seed 1] [--threads 1]"
-               " [--batch 1] [--masked 1]\n"
+               " [--batch 1] [--masked 1] [--overlap 1] [--steal 1]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
                " [--model vertex|edge] [--trials 200] [--exhaustive]"
                " [--threads 1]\n"
@@ -78,6 +81,8 @@ int cmd_build(const Cli& cli) {
     if (threads < 0 || threads > 4096)
       throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
     config.exec.threads = static_cast<std::uint32_t>(threads);
+    config.exec.overlap = cli.get_int("overlap", 1) != 0;
+    config.exec.steal = cli.get_int("steal", 1) != 0;
     config.batch_terminals = cli.get_int("batch", 1) != 0;
     config.masked_tree = cli.get_int("masked", 1) != 0;
     auto build = modified_greedy_spanner(g, params, config);
@@ -89,6 +94,12 @@ int cmd_build(const Cli& cli) {
                 << (100.0 * static_cast<double>(build.stats.oracle_calls) /
                     static_cast<double>(build.stats.spec_evaluated))
                 << "%";
+    if (build.stats.overlap_windows > 0)
+      std::cout << ", " << build.stats.overlap_windows
+                << " windows evaluated during commits";
+    if (build.stats.stolen_chunks > 0)
+      std::cout << ", " << build.stats.stolen_chunks
+                << " chunks split off dominant batches";
     if (build.stats.batched_sweeps > 0)
       std::cout << ", " << build.stats.tree_reuse_hits
                 << " BFS runs saved by terminal batching";
