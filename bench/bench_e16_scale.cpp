@@ -1,0 +1,277 @@
+// E16 — million-vertex substrate scaling: the modified greedy on Graph500
+// Kronecker / R-MAT instances at n = 2^17 .. 2^20 (edgefactor 16).
+//
+// Where E4 tracks instruction-count speedups on toy graphs, E16 tracks the
+// quantities that decide throughput at scale: wall-clock build time, peak
+// RSS (getrusage), adjacency arcs traversed (the measured work term of the
+// paper's O(f^{1-1/k} n^{1/k} m) bound), and allocator traffic during the
+// build (counting operator new in this binary — near zero once the slab
+// arenas reach their high-water mark).  Graph generation is timed separately
+// (gen_seconds) so the build column is the spanner build alone.
+//
+// Engine defaults differ from E4, deliberately, because hub-heavy degree
+// distributions invert two E4 conclusions:
+//   * --masked defaults to 0: eager Even-Shiloach repair cascades through
+//     Kronecker hubs and loses 5x against the dedicated masked BFS it
+//     replaces (measured scale 14, f=1: 42.9s masked vs 7.9s unmasked).
+//   * --f defaults to 0 for the scale sweep: the alpha == 0 tree-graft path
+//     (LbcSolver::extend_batch_after_accept) keeps one shared tree alive
+//     across accepts, which is what makes the 2^20 configuration tractable
+//     single-threaded.  f >= 1 rows remain fully supported at the smaller
+//     scales (the nightly sweep runs one).
+// Both knobs are bit-identical by contract — they move time, never results.
+//
+// Writes BENCH_e16_scale.json; tools/check_perf_floor.py --e16 gates the CI
+// perf-multicore lane on the checked-in seconds + max_peak_rss_mb floors
+// (bench/ci_perf_floor.json, "e16" entries).
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/modified_greedy.h"
+#include "core/result.h"
+#include "exec/thread_pool.h"
+#include "util/timer.h"
+
+// ------------------------------------------------------- allocation counter
+//
+// Counting replacements for the global allocation functions, confined to
+// this binary.  The counters are the source of truth for the allocations
+// column: a build phase that runs entirely out of the pooled arenas performs
+// (almost) no operator-new calls, and a regression that reintroduces
+// per-decision heap churn shows up here as millions of them.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+struct AllocSnapshot {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+AllocSnapshot alloc_now() {
+  return {g_alloc_calls.load(std::memory_order_relaxed),
+          g_alloc_bytes.load(std::memory_order_relaxed)};
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ftspan;
+
+/// Process peak RSS in MiB (Linux ru_maxrss is KiB).  Monotone over the
+/// process lifetime: with scales run in ascending order each row reports the
+/// high-water mark of everything up to and including itself, which is
+/// exactly the number a CI memory ceiling must bound.
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct RunResult {
+  std::string family;
+  std::size_t scale = 0;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t edgefactor = 0;
+  std::uint32_t f = 0;
+  std::uint32_t k = 0;
+  std::uint32_t threads = 1;
+  std::uint32_t threads_used = 1;
+  std::size_t spanner_m = 0;
+  double seconds = 0.0;      // spanner build only
+  double gen_seconds = 0.0;  // graph generation, separate by design
+  double peak_rss_mb = 0.0;
+  std::uint64_t arcs_traversed = 0;
+  std::uint64_t arena_bytes = 0;
+  std::uint64_t graph_bytes = 0;
+  std::uint64_t alloc_calls = 0;  // operator-new calls during the build
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t oracle_calls = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t tree_extends = 0;
+};
+
+struct EngineKnobs {
+  bool batch = true;
+  bool masked = false;  // hub pathology: see the header comment
+};
+
+RunResult run_config(const std::string& family, std::size_t scale,
+                     std::size_t edgefactor, std::uint32_t f, std::uint32_t k,
+                     std::uint32_t threads, std::uint64_t seed,
+                     const EngineKnobs& knobs) {
+  RunResult out;
+  out.family = family;
+  out.scale = scale;
+  out.edgefactor = edgefactor;
+  out.f = f;
+  out.k = k;
+  out.threads = threads;
+  out.threads_used = std::min(threads, exec::resolve_threads(0));
+
+  Rng rng(seed + scale);
+  const auto [g, gen_seconds] = bench::timed_gen([&] {
+    return family == "rmat" ? rmat(scale, edgefactor, rng)
+                            : kronecker(scale, edgefactor, rng);
+  });
+  out.gen_seconds = gen_seconds;
+  out.n = g.n();
+  out.m = g.m();
+  out.graph_bytes = g.memory_bytes();
+
+  ModifiedGreedyConfig config;
+  config.exec.threads = out.threads_used;
+  config.batch_terminals = knobs.batch;
+  config.masked_tree = knobs.masked;
+  const AllocSnapshot before = alloc_now();
+  const Timer timer;
+  const SpannerBuild build =
+      modified_greedy_spanner(g, SpannerParams{.k = k, .f = f}, config);
+  out.seconds = timer.seconds();
+  const AllocSnapshot after = alloc_now();
+  out.alloc_calls = after.calls - before.calls;
+  out.alloc_bytes = after.bytes - before.bytes;
+  out.spanner_m = build.spanner.m();
+  out.oracle_calls = build.stats.oracle_calls;
+  out.sweeps = build.stats.search_sweeps;
+  out.tree_extends = build.stats.tree_extends;
+  out.arcs_traversed = build.stats.arcs_traversed;
+  out.arena_bytes = build.stats.arena_bytes;
+  out.peak_rss_mb = peak_rss_mb();
+  return out;
+}
+
+/// Parses "--scales 17,18,19,20".
+std::vector<std::size_t> parse_scales(const std::string& arg) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const long value = std::stol(item);
+    if (value < 1 || value > 30)
+      throw std::invalid_argument("--scales values must be in [1, 30]");
+    out.push_back(static_cast<std::size_t>(value));
+  }
+  if (out.empty()) throw std::invalid_argument("--scales is empty");
+  // Ascending order keeps the peak-RSS column interpretable (monotone
+  // process high-water mark: each row's value is its own config's peak).
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool write_json(const std::string& path, const std::vector<RunResult>& results) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "  {\"family\": \"" << r.family << "\", \"scale\": " << r.scale
+        << ", \"n\": " << r.n << ", \"m\": " << r.m
+        << ", \"edgefactor\": " << r.edgefactor << ", \"f\": " << r.f
+        << ", \"k\": " << r.k << ", \"threads\": " << r.threads
+        << ", \"threads_used\": " << r.threads_used
+        << ", \"spanner_m\": " << r.spanner_m << ", \"seconds\": " << r.seconds
+        << ", \"gen_seconds\": " << r.gen_seconds
+        << ", \"peak_rss_mb\": " << r.peak_rss_mb
+        << ", \"arcs_traversed\": " << r.arcs_traversed
+        << ", \"arena_bytes\": " << r.arena_bytes
+        << ", \"graph_bytes\": " << r.graph_bytes
+        << ", \"alloc_calls\": " << r.alloc_calls
+        << ", \"alloc_bytes\": " << r.alloc_bytes
+        << ", \"oracle_calls\": " << r.oracle_calls
+        << ", \"sweeps\": " << r.sweeps
+        << ", \"tree_extends\": " << r.tree_extends << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.flush().good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftspan;
+  const Cli cli(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto scales = parse_scales(cli.get("scales", "17,18,19,20"));
+  const std::string family = cli.get("family", "kronecker");
+  if (family != "kronecker" && family != "rmat")
+    throw std::invalid_argument("--family must be kronecker or rmat");
+  const auto edgefactor =
+      static_cast<std::size_t>(cli.get_int("edgefactor", 16));
+  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 0));
+  const auto k = static_cast<std::uint32_t>(cli.get_int("k", 2));
+  const auto threads = static_cast<std::uint32_t>(cli.get_int("threads", 1));
+  EngineKnobs knobs;
+  knobs.batch = cli.get_int("batch", 1) != 0;
+  knobs.masked = cli.get_int("masked", 0) != 0;
+  const auto json_path = cli.get("out", "BENCH_e16_scale.json");
+
+  bench::banner("E16 scale",
+                "near-optimal O(f^{1-1/k} n^{1/k} m) build time survives "
+                "million-vertex inputs: layout and allocation behavior, not "
+                "instruction counts, set the slope",
+                seed);
+
+  std::vector<RunResult> results;
+  for (const std::size_t scale : scales) {
+    results.push_back(
+        run_config(family, scale, edgefactor, f, k, threads, seed, knobs));
+    const auto& r = results.back();
+    std::cout << family << " scale=" << scale << " done: n=" << r.n
+              << " m=" << r.m << " build=" << r.seconds << "s (gen "
+              << r.gen_seconds << "s), peak RSS " << r.peak_rss_mb << " MiB\n";
+  }
+
+  Table table({"family", "scale", "n", "m(G)", "f", "k", "thr", "m(H)",
+               "build-s", "gen-s", "rss-MiB", "arcs", "arena-MiB", "allocs",
+               "sweeps", "grafts"});
+  for (const auto& r : results)
+    table.add_row({r.family, Table::num(r.scale), Table::num(r.n),
+                   Table::num(r.m), Table::num(static_cast<long long>(r.f)),
+                   Table::num(static_cast<long long>(r.k)),
+                   Table::num(static_cast<long long>(r.threads)),
+                   Table::num(r.spanner_m), Table::num(r.seconds, 2),
+                   Table::num(r.gen_seconds, 2), Table::num(r.peak_rss_mb, 1),
+                   Table::num(static_cast<long long>(r.arcs_traversed)),
+                   Table::num(static_cast<double>(r.arena_bytes) / 1048576.0, 1),
+                   Table::num(static_cast<long long>(r.alloc_calls)),
+                   Table::num(static_cast<long long>(r.sweeps)),
+                   Table::num(static_cast<long long>(r.tree_extends))});
+  table.print(std::cout);
+
+  if (!write_json(json_path, results)) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

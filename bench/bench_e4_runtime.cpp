@@ -39,7 +39,8 @@ struct RunResult {
   std::uint32_t threads = 1;       // requested worker count
   std::uint32_t threads_used = 1;  // after clamping to the hardware
   std::size_t spanner_m = 0;
-  double seconds = 0.0;
+  double seconds = 0.0;      // spanner build only (best of reps)
+  double gen_seconds = 0.0;  // input-graph construction, reported separately
   // Wall-clock ratio vs the *measured* threads=1 row of the same config;
   // absent (JSON null) when no such baseline row exists or this row is the
   // baseline itself.  Never a hardcoded 1 — a clamped multi-thread row gets
@@ -71,8 +72,10 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
                      std::uint32_t k, std::uint32_t threads, std::uint32_t reps,
                      std::uint64_t seed, const EngineKnobs& knobs) {
   Rng rng(seed + n);
-  const Graph g = bench::gnp_with_degree(n, 16.0, rng);
+  const auto [g, gen_seconds] =
+      bench::timed_gen([&] { return bench::gnp_with_degree(n, 16.0, rng); });
   RunResult out;
+  out.gen_seconds = gen_seconds;
   out.algo = algo;
   out.n = n;
   out.m = g.m();
@@ -142,7 +145,7 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
         << ", \"threads\": " << r.threads
         << ", \"threads_used\": " << r.threads_used
         << ", \"spanner_m\": " << r.spanner_m << ", \"seconds\": " << r.seconds
-        << ", \"speedup\": ";
+        << ", \"gen_seconds\": " << r.gen_seconds << ", \"speedup\": ";
     if (r.has_speedup)
       out << r.speedup;
     else

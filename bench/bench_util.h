@@ -4,12 +4,14 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 namespace ftspan::bench {
 
@@ -26,6 +28,25 @@ inline void banner(const std::string& id, const std::string& claim,
 inline Graph gnp_with_degree(std::size_t n, double avg_degree, Rng& rng) {
   const double p = std::min(1.0, avg_degree / static_cast<double>(n - 1));
   return gnp(n, p, rng);
+}
+
+/// A generated input graph with its construction time kept separate.
+/// Runtime benches must report gen_seconds as its own column — at E16 scale
+/// generating a Kronecker instance takes whole seconds, and folding that
+/// into the build column would corrupt the spanner-runtime trend the CI
+/// floor gates on.
+struct TimedGraph {
+  Graph graph;
+  double gen_seconds = 0.0;
+};
+
+/// Runs `make_graph` (any callable returning a Graph) under a timer.
+template <typename MakeGraph>
+TimedGraph timed_gen(MakeGraph&& make_graph) {
+  const Timer timer;
+  TimedGraph out{std::forward<MakeGraph>(make_graph)(), 0.0};
+  out.gen_seconds = timer.seconds();
+  return out;
 }
 
 }  // namespace ftspan::bench

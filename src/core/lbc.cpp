@@ -46,6 +46,15 @@ LbcResult LbcSolver::decide_batched(std::size_t index, std::uint32_t alpha,
                       alpha, trace, /*sweep0_from_tree=*/true);
 }
 
+void LbcSolver::extend_batch_after_accept(VertexId v, EdgeId via_edge) {
+  FTSPAN_REQUIRE(batch_g_ != nullptr, "no open LBC batch");
+  FTSPAN_REQUIRE(batch_g_->m() == batch_m_ + 1,
+                 "extend_batch_after_accept expects exactly one appended edge");
+  batch_m_ = batch_g_->m();
+  tree_bfs_.tree_insert_source_arc(v, via_edge);
+  ++tree_extends_;
+}
+
 void LbcSolver::decide_batch(const Graph& g, VertexId u,
                              std::span<const VertexId> targets, std::uint32_t t,
                              std::uint32_t alpha, std::span<LbcResult> results,

@@ -93,6 +93,17 @@ class LbcSolver {
   LbcResult decide_batched(std::size_t index, std::uint32_t alpha,
                            LbcTrace* trace = nullptr);
 
+  /// Continues the open batch across an accepted edge — alpha == 0 only.
+  /// The caller has just appended edge (u, v) to the batch graph (v the
+  /// accepted target, `via_edge` its id there); instead of re-beginning, the
+  /// shared tree is grafted in place (BfsRunner::tree_insert_source_arc), so
+  /// the remaining decide_batched calls skip the full re-expansion an accept
+  /// used to cost.  Valid only for alpha == 0 decisions: the graft maintains
+  /// exact distances but not the lex-min paths/traces sweeps >= 1 and trace
+  /// consumers read.  Decisions stay bit-identical to re-beginning (pinned
+  /// by tests/lbc_batch_test.cpp and the f=0 differential suite).
+  void extend_batch_after_accept(VertexId v, EdgeId via_edge);
+
   /// Convenience wrapper: begin_batch + decide_batched for every target,
   /// filling `results` (sized like targets) and, when non-null, `traces`
   /// (ditto).  For one-shot callers that decide a whole batch against one
@@ -131,6 +142,13 @@ class LbcSolver {
     return batched_sweeps_ - trees_built_;
   }
 
+  /// Accepts survived in place by grafting the new edge into the shared
+  /// tree (extend_batch_after_accept) — each one is a full tree rebuild
+  /// eliminated (instrumentation).
+  [[nodiscard]] std::uint64_t tree_extends() const noexcept {
+    return tree_extends_;
+  }
+
   /// Masked sweeps served from the repaired shared tree — each one is a
   /// dedicated masked BFS run eliminated (instrumentation; each still
   /// counts 1 in total_sweeps()).
@@ -141,6 +159,22 @@ class LbcSolver {
   /// In-place tree repairs applied under growing cuts (instrumentation).
   [[nodiscard]] std::uint64_t masked_tree_repairs() const noexcept {
     return tree_bfs_.tree_repairs();
+  }
+
+  /// Adjacency arcs scanned by every search this solver ran (both runners,
+  /// cumulative) — the measured work term of the O(f^{1-1/k} n^{1/k} m)
+  /// bound, aggregated into SpannerBuildStats::arcs_traversed.
+  [[nodiscard]] ArcIndex arcs_scanned() const noexcept {
+    return bfs_.arcs_scanned() + tree_bfs_.arcs_scanned();
+  }
+
+  /// Bytes held by this solver's search workspace: both runners' slab
+  /// arenas plus the cut/trace masks and the path buffer.  The per-worker
+  /// term behind SpannerBuildStats::arena_bytes.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return bfs_.arena_bytes() + tree_bfs_.arena_bytes() +
+           vertex_cut_.bytes().size() + edge_cut_.bytes().size() +
+           trace_mark_.bytes().size() + path_.capacity() * sizeof(PathStep);
   }
 
  private:
@@ -161,6 +195,7 @@ class LbcSolver {
   std::uint64_t trees_built_ = 0;
   std::uint64_t batched_sweeps_ = 0;
   std::uint64_t masked_sweeps_ = 0;
+  std::uint64_t tree_extends_ = 0;
 
   // Open batch (valid until the next begin_batch / decide on this solver).
   const Graph* batch_g_ = nullptr;

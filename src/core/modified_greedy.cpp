@@ -80,6 +80,10 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
     return true;
   };
 
+  // With alpha == 0 an accept leaves the shared tree exhausted and the new
+  // edge graftable in place (extend_batch_after_accept), so runs never
+  // re-begin and the cap would only split trees for nothing: lift it.
+  const bool graft_accepts = params.f == 0;
   std::vector<VertexId> targets;
   std::size_t i = 0;
   while (i < order.size()) {
@@ -89,7 +93,8 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
       // Terminal batch: a maximal run of consecutive candidates out of the
       // same vertex, capped so re-marking after accepts stays cheap even on
       // huge-degree hubs.
-      const std::size_t cap = i + kMaxTerminalBatch;
+      const std::size_t cap = graft_accepts ? order.size()
+                                            : i + kMaxTerminalBatch;
       while (j < std::min(order.size(), cap) &&
              g.edge(order[j]).u == shared_u)
         ++j;
@@ -98,12 +103,22 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
       // One shared tree serves the run until a decision accepts; accepting
       // grows H, so the remaining targets re-begin against the new H —
       // exactly the decision the per-edge engine would have made there.
+      // With alpha == 0 the re-begin is skipped: the accepted edge is
+      // grafted into the tree instead (bit-identical decisions, since an
+      // alpha-0 decision consumes only the distance answer).
       targets.clear();
       for (std::size_t p = i; p < j; ++p) targets.push_back(g.edge(order[p]).v);
       lbc.begin_batch(build.spanner, shared_u, targets, t);
       const std::size_t base = i;
       for (; i < j; ++i)
         if (commit(lbc.decide_batched(i - base, params.f), order[i])) {
+          if (graft_accepts) {
+            if (i + 1 < j)  // nothing left to answer: skip the graft
+              lbc.extend_batch_after_accept(
+                  g.edge(order[i]).v,
+                  static_cast<EdgeId>(build.spanner.m() - 1));
+            continue;
+          }
           ++i;
           break;
         }
@@ -119,6 +134,9 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   build.stats.tree_reuse_hits = lbc.tree_reuse_hits();
   build.stats.masked_reuse_hits = lbc.masked_reuse_hits();
   build.stats.masked_tree_repairs = lbc.masked_tree_repairs();
+  build.stats.tree_extends = lbc.tree_extends();
+  build.stats.arcs_traversed = lbc.arcs_scanned();
+  build.stats.arena_bytes = lbc.arena_bytes();
   build.stats.seconds = timer.seconds();
   return build;
 }

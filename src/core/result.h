@@ -49,6 +49,10 @@ struct SpannerBuildStats {
   std::uint64_t masked_reuse_hits = 0;
   /// In-place terminal-tree repairs applied under growing cuts.
   std::uint64_t masked_tree_repairs = 0;
+  /// Accepts survived in place by grafting the new edge into the shared
+  /// terminal tree (alpha == 0 fast path) — each one is a full tree
+  /// re-expansion eliminated.  0 whenever f >= 1.
+  std::uint64_t tree_extends = 0;
   /// Windows whose evaluation overlapped the previous window's commit phase
   /// (the double-buffered pipeline; 0 sequentially or with overlap off).
   /// Includes overlapped windows later discarded by an invalidation abort.
@@ -57,6 +61,15 @@ struct SpannerBuildStats {
   /// workers could steal them (chunks beyond the first per split batch;
   /// 0 with stealing off).
   std::uint64_t stolen_chunks = 0;
+  /// Adjacency arcs scanned across every search the build ran (committed
+  /// AND speculative work, summed over all workers): the measured work term
+  /// of the paper's O(f^{1-1/k} n^{1/k} m) runtime — the E16 scale bench's
+  /// arcs-traversed column.  Unlike search_sweeps this is NOT thread-count
+  /// invariant; wasted speculation shows up here.
+  std::uint64_t arcs_traversed = 0;
+  /// Bytes held by the search arenas at build end (slab-quantized runner
+  /// state, cut masks, path buffers; summed over all workers).
+  std::uint64_t arena_bytes = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

@@ -23,6 +23,11 @@ struct SearchArena {
   /// Scratch target list for terminal-batched evaluation (one batch at a
   /// time per worker; avoids a per-batch allocation).
   std::vector<VertexId> targets;
+
+  /// Bytes this worker's search state holds (slab arenas, masks, buffers).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return lbc.arena_bytes() + targets.capacity() * sizeof(VertexId);
+  }
 };
 
 }  // namespace ftspan::exec

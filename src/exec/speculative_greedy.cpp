@@ -258,6 +258,9 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
     build.stats.tree_reuse_hits += arena.lbc.tree_reuse_hits();
     build.stats.masked_reuse_hits += arena.lbc.masked_reuse_hits();
     build.stats.masked_tree_repairs += arena.lbc.masked_tree_repairs();
+    build.stats.tree_extends += arena.lbc.tree_extends();
+    build.stats.arcs_traversed += arena.lbc.arcs_scanned();
+    build.stats.arena_bytes += arena.lbc.arena_bytes();
   }
   return build;
 }

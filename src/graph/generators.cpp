@@ -268,6 +268,96 @@ Graph watts_strogatz(std::size_t n, std::size_t k_ring, double beta, Rng& rng) {
   return g;
 }
 
+namespace {
+
+/// Draws the endpoint pairs of an R-MAT instance: for each of NE tuples,
+/// `scale` levels of quadrant descent pick one bit of each endpoint.  Pairs
+/// are returned packed (u in the high word) for cheap sort/unique cleanup.
+std::vector<std::uint64_t> rmat_tuples(std::size_t scale, std::uint64_t ne,
+                                       double a, double b, double c, Rng& rng) {
+  const double ab = a + b;
+  const double abc = a + b + c;
+  std::vector<std::uint64_t> tuples;
+  tuples.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i) {
+    std::uint32_t u = 0, v = 0;
+    for (std::size_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: both bits 0
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    tuples.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+  }
+  return tuples;
+}
+
+/// Cleans a packed tuple list in place (drop self-loops, normalize u < v,
+/// sort + unique) and builds the exact-fit CSR via Graph::from_edges.
+Graph graph_from_tuples(std::size_t n, std::vector<std::uint64_t>& tuples) {
+  std::size_t out = 0;
+  for (const std::uint64_t t : tuples) {
+    const auto u = static_cast<std::uint32_t>(t >> 32);
+    const auto v = static_cast<std::uint32_t>(t);
+    if (u == v) continue;  // self-loop
+    const std::uint64_t lo = std::min(u, v), hi = std::max(u, v);
+    tuples[out++] = (lo << 32) | hi;
+  }
+  tuples.resize(out);
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+
+  std::vector<Edge> edges;
+  edges.reserve(tuples.size());
+  for (const std::uint64_t t : tuples)
+    edges.push_back(Edge{static_cast<VertexId>(t >> 32),
+                         static_cast<VertexId>(t), 1.0});
+  tuples.clear();
+  tuples.shrink_to_fit();  // release before the CSR build doubles the footprint
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+Graph rmat(std::size_t scale, std::size_t edgefactor, Rng& rng, double a,
+           double b, double c) {
+  FTSPAN_REQUIRE(scale >= 1 && scale <= 30, "rmat requires 1 <= scale <= 30");
+  FTSPAN_REQUIRE(a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0,
+                 "rmat requires a > 0, b, c >= 0, a + b + c < 1");
+  const std::uint64_t ne = (std::uint64_t{1} << scale) * edgefactor;
+  auto tuples = rmat_tuples(scale, ne, a, b, c, rng);
+  return graph_from_tuples(std::size_t{1} << scale, tuples);
+}
+
+Graph kronecker(std::size_t scale, std::size_t edgefactor, Rng& rng) {
+  FTSPAN_REQUIRE(scale >= 1 && scale <= 30,
+                 "kronecker requires 1 <= scale <= 30");
+  const std::size_t n = std::size_t{1} << scale;
+  const std::uint64_t ne = static_cast<std::uint64_t>(n) * edgefactor;
+  auto tuples = rmat_tuples(scale, ne, 0.57, 0.19, 0.19, rng);
+
+  // Relabel vertices by a random permutation so vertex id carries no degree
+  // information (raw R-MAT concentrates high degrees at low ids).
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  std::shuffle(perm.begin(), perm.end(), rng);
+  for (auto& t : tuples) {
+    const VertexId u = perm[static_cast<std::uint32_t>(t >> 32)];
+    const VertexId v = perm[static_cast<std::uint32_t>(t)];
+    t = (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+  return graph_from_tuples(n, tuples);
+}
+
 Graph with_uniform_weights(const Graph& g, Weight lo, Weight hi, Rng& rng) {
   FTSPAN_REQUIRE(0.0 <= lo && lo <= hi, "requires 0 <= lo <= hi");
   Graph out(g.n(), /*weighted=*/true);

@@ -71,6 +71,25 @@ struct Point {
 [[nodiscard]] Graph watts_strogatz(std::size_t n, std::size_t k_ring, double beta,
                                    Rng& rng);
 
+/// R-MAT power-law graph on n = 2^scale vertices (Chakrabarti-Zhan-Faloutsos):
+/// 2^scale * edgefactor endpoint pairs are drawn by recursive quadrant
+/// descent with probabilities (a, b, c, 1-a-b-c), then self-loops and
+/// duplicates are dropped, so m is slightly below n * edgefactor.  The
+/// result is the skewed-degree workload the E16 scale bench runs on.
+/// Deterministic given the Rng stream; requires 1 <= scale <= 30 and
+/// a + b + c < 1.
+[[nodiscard]] Graph rmat(std::size_t scale, std::size_t edgefactor, Rng& rng,
+                         double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// Graph500-flavor Kronecker graph: R-MAT descent with the Graph500
+/// parameter set (A=0.57, B=C=0.19) followed by a random relabeling of the
+/// vertex ids, which destroys the id/degree correlation of raw R-MAT (high
+/// degrees no longer cluster at low ids) — matching how the reference
+/// Kronecker generators (Graph500, Grappa) emit tuples.  Same cleanup and
+/// determinism contract as rmat().
+[[nodiscard]] Graph kronecker(std::size_t scale, std::size_t edgefactor,
+                              Rng& rng);
+
 /// Weighted copy of `g` with i.i.d. uniform weights in [lo, hi].
 [[nodiscard]] Graph with_uniform_weights(const Graph& g, Weight lo, Weight hi,
                                          Rng& rng);

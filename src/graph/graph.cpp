@@ -20,28 +20,76 @@ constexpr std::uint32_t compacted_cap(std::uint32_t deg) noexcept {
   return deg + std::max<std::uint32_t>(2, deg / 4);
 }
 
+/// Order-insensitive packed key of an endpoint pair, for dup detection.
+constexpr std::uint64_t pair_key(VertexId u, VertexId v) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+void validate_edge(std::size_t n, VertexId u, VertexId v, Weight w,
+                   bool weighted) {
+  FTSPAN_REQUIRE(u < n && v < n, "edge endpoint out of range");
+  FTSPAN_REQUIRE(u != v, "self-loops are not allowed");
+  FTSPAN_REQUIRE(std::isfinite(w) && w >= 0.0,
+                 "edge weight must be finite and >= 0");
+  FTSPAN_REQUIRE(weighted || w == 1.0, "unweighted graph requires weight 1");
+}
+
 }  // namespace
 
 Graph::Graph(std::size_t n, bool weighted) : rows_(n), weighted_(weighted) {}
 
 Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges, bool weighted) {
   Graph g(n, weighted);
-  g.reserve_edges(edges.size());
-  for (const auto& e : edges) g.add_edge(e.u, e.v, e.w);
-  return g;
-}
+  for (const auto& e : edges) validate_edge(n, e.u, e.v, e.w, weighted);
 
-std::uint64_t Graph::key(VertexId u, VertexId v) noexcept {
-  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
-  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
-  return (hi << 32) | lo;
+  // Duplicate detection over the whole list at once: sort the packed pair
+  // keys and look for an equal neighbor — O(m log m) once, instead of a
+  // per-append hash probe (and the per-edge hash index it would pin).
+  {
+    std::vector<std::uint64_t> keys(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i)
+      keys[i] = pair_key(edges[i].u, edges[i].v);
+    std::sort(keys.begin(), keys.end());
+    FTSPAN_REQUIRE(std::adjacent_find(keys.begin(), keys.end()) == keys.end(),
+                   "parallel edge rejected");
+  }
+
+  // Counting-sort CSR build: degree pass, prefix-sum offsets, fill pass.
+  // Rows are exact-fit (cap == deg) and laid out in vertex order with no
+  // holes, so the arc array is exactly 2m entries.  Iterating edges in list
+  // order keeps each row's arc order identical to incremental add_edge.
+  g.edges_.assign(edges.begin(), edges.end());
+  for (const auto& e : edges) {
+    ++g.rows_[e.u].deg;
+    ++g.rows_[e.v].deg;
+  }
+  ArcIndex offset = 0;
+  for (auto& row : g.rows_) {
+    row.offset = offset;
+    row.cap = row.deg;
+    offset += row.deg;
+    row.deg = 0;  // reused as the fill cursor below
+  }
+  g.arcs_.resize(offset);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& e = edges[i];
+    const auto id = static_cast<EdgeId>(i);
+    Row& ru = g.rows_[e.u];
+    g.arcs_[ru.offset + ru.deg++] = Arc{e.v, id, e.w};
+    Row& rv = g.rows_[e.v];
+    g.arcs_[rv.offset + rv.deg++] = Arc{e.u, id, e.w};
+  }
+  return g;
 }
 
 void Graph::relocate_row(VertexId v, std::uint32_t new_cap) {
   Row& row = rows_[v];
-  const auto new_offset = static_cast<std::uint32_t>(arcs_.size());
+  const auto new_offset = static_cast<ArcIndex>(arcs_.size());
   arcs_.resize(arcs_.size() + new_cap);
-  std::copy_n(arcs_.begin() + row.offset, row.deg, arcs_.begin() + new_offset);
+  std::copy_n(arcs_.begin() + static_cast<std::ptrdiff_t>(row.offset), row.deg,
+              arcs_.begin() + static_cast<std::ptrdiff_t>(new_offset));
   dead_arcs_ += row.cap;
   row.offset = new_offset;
   row.cap = new_cap;
@@ -49,12 +97,13 @@ void Graph::relocate_row(VertexId v, std::uint32_t new_cap) {
 
 void Graph::compact() {
   std::vector<Arc> packed;
-  std::size_t need = 0;
+  ArcIndex need = 0;
   for (const auto& row : rows_) need += compacted_cap(row.deg);
   packed.resize(need);
-  std::uint32_t offset = 0;
+  ArcIndex offset = 0;
   for (auto& row : rows_) {
-    std::copy_n(arcs_.begin() + row.offset, row.deg, packed.begin() + offset);
+    std::copy_n(arcs_.begin() + static_cast<std::ptrdiff_t>(row.offset), row.deg,
+                packed.begin() + static_cast<std::ptrdiff_t>(offset));
     row.offset = offset;
     row.cap = compacted_cap(row.deg);
     offset += row.cap;
@@ -74,12 +123,20 @@ void Graph::append_arc(VertexId v, const Arc& arc) {
   ++r.deg;
 }
 
+bool Graph::row_has_arc(VertexId v, VertexId other) const noexcept {
+  const Row& row = rows_[v];
+  const Arc* arc = arcs_.data() + row.offset;
+  for (const Arc* end = arc + row.deg; arc != end; ++arc)
+    if (arc->to == other) return true;
+  return false;
+}
+
 EdgeId Graph::add_edge(VertexId u, VertexId v, Weight w) {
-  FTSPAN_REQUIRE(u < n() && v < n(), "edge endpoint out of range");
-  FTSPAN_REQUIRE(u != v, "self-loops are not allowed");
-  FTSPAN_REQUIRE(std::isfinite(w) && w >= 0.0, "edge weight must be finite and >= 0");
-  FTSPAN_REQUIRE(weighted_ || w == 1.0, "unweighted graph requires weight 1");
-  FTSPAN_REQUIRE(edge_keys_.insert(key(u, v)).second, "parallel edge rejected");
+  validate_edge(n(), u, v, w, weighted_);
+  // Duplicate check on the smaller row: O(min degree) over arcs that the
+  // append is about to touch anyway — no hash index to maintain.
+  const VertexId base = rows_[u].deg <= rows_[v].deg ? u : v;
+  FTSPAN_REQUIRE(!row_has_arc(base, base == u ? v : u), "parallel edge rejected");
 
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back(Edge{u, v, w});
@@ -95,17 +152,18 @@ EdgeId Graph::ensure_edge(VertexId u, VertexId v, Weight w) {
 
 bool Graph::has_edge(VertexId u, VertexId v) const {
   if (u >= n() || v >= n() || u == v) return false;
-  return edge_keys_.count(key(u, v)) > 0;
+  const VertexId base = rows_[u].deg <= rows_[v].deg ? u : v;
+  return row_has_arc(base, base == u ? v : u);
 }
 
 std::optional<EdgeId> Graph::find_edge(VertexId u, VertexId v) const {
-  if (!has_edge(u, v)) return std::nullopt;
-  // Scan the smaller row; has_edge already confirmed existence.
-  const VertexId base = degree(u) <= degree(v) ? u : v;
+  if (u >= n() || v >= n() || u == v) return std::nullopt;
+  // Scan the smaller row.
+  const VertexId base = rows_[u].deg <= rows_[v].deg ? u : v;
   const VertexId other = base == u ? v : u;
   for (const auto& arc : neighbors(base))
     if (arc.to == other) return arc.edge;
-  FTSPAN_ASSERT(false, "edge key present but arc missing");
+  return std::nullopt;
 }
 
 const Edge& Graph::edge(EdgeId id) const {
@@ -138,8 +196,12 @@ Weight Graph::total_weight() const noexcept {
 
 void Graph::reserve_edges(std::size_t m) {
   edges_.reserve(m);
-  edge_keys_.reserve(m * 2);
   arcs_.reserve(arcs_.size() + 2 * m);
+}
+
+std::size_t Graph::memory_bytes() const noexcept {
+  return arcs_.capacity() * sizeof(Arc) + rows_.capacity() * sizeof(Row) +
+         edges_.capacity() * sizeof(Edge);
 }
 
 std::string Graph::summary() const {

@@ -19,16 +19,23 @@
 // The vertex set is fixed at construction; edges can be appended, which is
 // exactly the mutation pattern of every spanner algorithm in this library
 // (they grow a subgraph H of a fixed G edge by edge).  Simplicity rules:
-// no self-loops, no parallel edges (add_edge enforces both via a hash edge
-// index — the hash is confined to mutation/validation and stays out of the
-// search hot loops, which consume edge ids straight from the arcs).
+// no self-loops, no parallel edges.  add_edge enforces both by scanning the
+// smaller endpoint row — O(min degree), which on the sparse graphs this
+// library targets is a handful of comparisons against arcs that are already
+// in cache, and frees the ~40 bytes/edge a hash edge index would pin at
+// million-vertex scale (the index was the single largest allocation of the
+// old layout at n = 2^20, m = 16M).
+//
+// 64-bit id policy (see ArcIndex in graph/types.h): vertex and edge ids are
+// 32-bit, but row offsets and every other arc-array index are 64-bit — the
+// arc array is 2m entries plus relocation slack and crosses 2^32 while edge
+// ids are still in range.
 
 #pragma once
 
 #include <optional>
 #include <span>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/types.h"
@@ -50,6 +57,11 @@ class Graph {
   explicit Graph(std::size_t n, bool weighted = false);
 
   /// Builds a graph from an edge list.  Throws on loops/duplicates/range.
+  /// Bulk path: counting-sort CSR construction in O(n + m) with exact-fit
+  /// rows (no per-row slack, no relocation holes), so a static million-edge
+  /// graph occupies exactly 2m arcs.  Arc order within each row equals the
+  /// add_edge insertion order, so the result is indistinguishable from m
+  /// individual add_edge calls.
   static Graph from_edges(std::size_t n, std::span<const Edge> edges,
                           bool weighted = false);
 
@@ -96,19 +108,28 @@ class Graph {
   /// Reserves storage for `m` edges.
   void reserve_edges(std::size_t m);
 
+  /// Bytes held by the adjacency structure (arc array incl. dead holes and
+  /// spare capacity, row table, edge list) — the graph's share of a bench's
+  /// peak-RSS column, and the number the bulk from_edges path minimizes.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
   /// "n=.. m=.. (un)weighted" — for logs and test failure messages.
   [[nodiscard]] std::string summary() const;
 
  private:
   /// CSR row descriptor: arcs of vertex v live at
   /// arcs_[offset .. offset + deg), with cap - deg spare slots behind them.
+  /// The offset is an ArcIndex, not a 32-bit id: the arc array is 2m plus
+  /// slack and outgrows 32-bit indexing long before edge ids do.
   struct Row {
-    std::uint32_t offset = 0;
+    ArcIndex offset = 0;
     std::uint32_t deg = 0;
     std::uint32_t cap = 0;
   };
+  static_assert(sizeof(Row) == 16, "row descriptor should stay two words");
 
-  static std::uint64_t key(VertexId u, VertexId v) noexcept;
+  /// True if v's row contains an arc to `other` (O(deg) scan).
+  [[nodiscard]] bool row_has_arc(VertexId v, VertexId other) const noexcept;
 
   /// Appends one arc to v's row, relocating/compacting per the policy above.
   void append_arc(VertexId v, const Arc& arc);
@@ -121,9 +142,8 @@ class Graph {
 
   std::vector<Row> rows_;
   std::vector<Arc> arcs_;
-  std::size_t dead_arcs_ = 0;  ///< hole space abandoned by relocations
+  ArcIndex dead_arcs_ = 0;  ///< hole space abandoned by relocations
   std::vector<Edge> edges_;
-  std::unordered_set<std::uint64_t> edge_keys_;
   bool weighted_ = false;
 };
 

@@ -1,7 +1,7 @@
 #include "graph/search.h"
 
 #include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "util/check.h"
 
@@ -19,34 +19,54 @@ FaultView make_fault_view(const Mask* vertices, const Mask* edges) {
 BfsRunner::BfsRunner(std::size_t n) { ensure(n); }
 
 void BfsRunner::ensure(std::size_t n) {
-  if (n > node_.size()) node_.resize(n);
+  if (n <= capacity()) return;
+  const std::size_t want = slab_round_up(n);
+  dist_.resize(want);
+  stamp_.resize(want, 0);
+  parent_.resize(want);
+  parent_arc_.resize(want);
 }
 
 void BfsRunner::ensure_session_arrays() {
-  if (tmark_.size() < node_.size()) {
-    tmark_.resize(node_.size(), 0);
-    amark_.resize(node_.size(), 0);
-    tpos_.resize(node_.size(), 0);
-    pidx_.resize(node_.size(), 0);
+  if (tmark_.size() < capacity()) {
+    tmark_.resize(capacity(), 0);
+    amark_.resize(capacity(), 0);
+    tpos_.resize(capacity(), 0);
+    pidx_.resize(capacity(), 0);
   }
 }
 
 void BfsRunner::ensure_repair_arrays() {
-  if (rdist_.size() < node_.size()) {
-    rdist_.resize(node_.size(), 0);
-    rpar_.resize(node_.size(), 0);
-    redge_.resize(node_.size(), 0);
-    rpidx_.resize(node_.size(), 0);
-    rqueued_.resize(node_.size(), 0);
-    fstamp_.resize(node_.size(), 0);
-    mstamp_.resize(node_.size(), 0);
+  if (rdist_.size() < capacity()) {
+    rdist_.resize(capacity(), 0);
+    rpar_.resize(capacity(), 0);
+    redge_.resize(capacity(), 0);
+    rpidx_.resize(capacity(), 0);
+    rqueued_.resize(capacity(), 0);
+    fstamp_.resize(capacity(), 0);
+    mstamp_.resize(capacity(), 0);
   }
+}
+
+std::size_t BfsRunner::arena_bytes() const noexcept {
+  auto bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t total = bytes(dist_) + bytes(stamp_) + bytes(parent_) +
+                      bytes(parent_arc_) + bytes(queue_) + bytes(iqueue_) +
+                      bytes(tmark_) +
+                      bytes(amark_) + bytes(tpos_) + bytes(pidx_) +
+                      bytes(rdist_) + bytes(rpar_) + bytes(redge_) +
+                      bytes(rpidx_) + bytes(rqueued_) + bytes(fstamp_) +
+                      bytes(mstamp_) + bytes(rlog_) + bytes(rbuckets_);
+  for (const auto& bucket : rbuckets_) total += bytes(bucket);
+  return total;
 }
 
 void BfsRunner::begin_epoch() {
   ++epoch_;
   if (epoch_ == 0) {  // wrapped: invalidate all stamps
-    for (auto& node : node_) node.stamp = 0;
+    for (auto& stamp : stamp_) stamp = 0;
     for (auto& mark : tmark_) mark = 0;
     for (auto& mark : amark_) mark = 0;
     epoch_ = 1;
@@ -61,8 +81,14 @@ template <bool kCheckVertices, bool kCheckEdges>
 std::uint32_t BfsRunner::run_impl(const Graph& g, VertexId s, VertexId t,
                                   const FaultView& faults,
                                   std::uint32_t max_hops) {
-  Node* const node = node_.data();
-  node[s] = Node{0, epoch_, kInvalidVertex, kInvalidEdge};
+  std::uint32_t* const dist = dist_.data();
+  std::uint32_t* const stamp = stamp_.data();
+  VertexId* const parent = parent_.data();
+  EdgeId* const parc = parent_arc_.data();
+  dist[s] = 0;
+  stamp[s] = epoch_;
+  parent[s] = kInvalidVertex;
+  parc[s] = kInvalidEdge;
   queue_.push_back(s);
   // With a concrete target, vertices landing exactly at max_hops can never be
   // expanded, so only t itself is worth stamping at that depth.  Skipping the
@@ -76,29 +102,34 @@ std::uint32_t BfsRunner::run_impl(const Graph& g, VertexId s, VertexId t,
   std::size_t head = 0;
   for (; head < queue_.size(); ++head) {
     const VertexId u = queue_[head];
-    const std::uint32_t du = node[u].dist;
+    const std::uint32_t du = dist[u];
     if (u == t) {
       expanded_count_ = head;
       return du;
     }
     if (du >= max_hops) break;  // queue distances are nondecreasing
     const bool frontier_next = prune_frontier && du + 1 >= max_hops;
-    for (const auto& arc : g.neighbors(u)) {
+    const auto arcs = g.neighbors(u);
+    arcs_scanned_ += arcs.size();
+    for (const auto& arc : arcs) {
       if (frontier_next && arc.to != t) continue;
-      if (node[arc.to].stamp == epoch_) continue;
+      if (stamp[arc.to] == epoch_) continue;
       if constexpr (kCheckEdges) {
         if (!faults.edge_alive(arc.edge)) continue;
       }
       if constexpr (kCheckVertices) {
         if (!faults.vertex_alive(arc.to)) continue;
       }
-      node[arc.to] = Node{du + 1, epoch_, u, arc.edge};
+      dist[arc.to] = du + 1;
+      stamp[arc.to] = epoch_;
+      parent[arc.to] = u;
+      parc[arc.to] = arc.edge;
       queue_.push_back(arc.to);
     }
   }
   expanded_count_ = head;
   if (t == kInvalidVertex) return kUnreachableHops;
-  return node[t].stamp == epoch_ ? node[t].dist : kUnreachableHops;
+  return stamp[t] == epoch_ ? dist[t] : kUnreachableHops;
 }
 
 std::uint32_t BfsRunner::run(const Graph& g, VertexId s, VertexId t,
@@ -132,7 +163,7 @@ bool BfsRunner::shortest_path(const Graph& g, VertexId s, VertexId t,
   const std::uint32_t d = run(g, s, t, faults, max_hops);
   if (d > max_hops || d == kUnreachableHops) return false;
   out.clear();
-  for (VertexId v = t; v != kInvalidVertex; v = node_[v].parent) out.push_back(v);
+  for (VertexId v = t; v != kInvalidVertex; v = parent_[v]) out.push_back(v);
   std::reverse(out.begin(), out.end());
   FTSPAN_ASSERT(out.front() == s && out.back() == t, "path endpoints mismatch");
   return true;
@@ -150,11 +181,11 @@ bool BfsRunner::shortest_path_arcs(const Graph& g, VertexId s, VertexId t,
 }
 
 void BfsRunner::path_arcs_to(VertexId v, std::vector<PathStep>& out) const {
-  FTSPAN_ASSERT(v < node_.size() && node_[v].stamp == epoch_,
+  FTSPAN_ASSERT(v < capacity() && stamp_[v] == epoch_,
                 "path_arcs_to target was not reached by the last search");
   out.clear();
-  for (VertexId x = v; x != kInvalidVertex; x = node_[x].parent)
-    out.push_back(PathStep{x, node_[x].parent_arc});
+  for (VertexId x = v; x != kInvalidVertex; x = parent_[x])
+    out.push_back(PathStep{x, parent_arc_[x]});
   std::reverse(out.begin(), out.end());
 }
 
@@ -177,7 +208,10 @@ void BfsRunner::tree_begin(const Graph& g, VertexId s,
     if (faults.vertex_alive(v)) tmark_[v] = epoch_;
   }
   if (!faults.vertex_alive(s)) return;  // empty tree: every answer unreachable
-  node_[s] = Node{0, epoch_, kInvalidVertex, kInvalidEdge};
+  dist_[s] = 0;
+  stamp_[s] = epoch_;
+  parent_[s] = kInvalidVertex;
+  parent_arc_[s] = kInvalidEdge;
   pidx_[s] = kInvalidVertex;
   queue_.push_back(s);
 }
@@ -187,11 +221,14 @@ BfsTreeAnswer BfsRunner::tree_next_impl(VertexId v) {
   const Graph& g = *tree_g_;
   const FaultView& faults = tree_faults_;
   const std::uint32_t max_hops = tree_max_hops_;
-  Node* const node = node_.data();
+  std::uint32_t* const dist = dist_.data();
+  std::uint32_t* const stamp = stamp_.data();
+  VertexId* const parent = parent_.data();
+  EdgeId* const parc = parent_arc_.data();
 
   while (tree_head_ < queue_.size()) {
     const VertexId u = queue_[tree_head_];
-    const std::uint32_t du = node[u].dist;
+    const std::uint32_t du = dist[u];
     if (tmark_[u] == epoch_) {
       // A pending target settles the moment it is popped; its read set is
       // what a dedicated search would have expanded by now: everything ahead
@@ -212,17 +249,21 @@ BfsTreeAnswer BfsRunner::tree_next_impl(VertexId v) {
     ++tree_head_;
     const bool frontier_next = du + 1 >= max_hops;
     const auto arcs = g.neighbors(u);
+    arcs_scanned_ += arcs.size();
     for (std::size_t ai = 0; ai < arcs.size(); ++ai) {
       const auto& arc = arcs[ai];
       if (frontier_next && tmark_[arc.to] != epoch_) continue;
-      if (node[arc.to].stamp == epoch_) continue;
+      if (stamp[arc.to] == epoch_) continue;
       if constexpr (kCheckEdges) {
         if (!faults.edge_alive(arc.edge)) continue;
       }
       if constexpr (kCheckVertices) {
         if (!faults.vertex_alive(arc.to)) continue;
       }
-      node[arc.to] = Node{du + 1, epoch_, u, arc.edge};
+      dist[arc.to] = du + 1;
+      stamp[arc.to] = epoch_;
+      parent[arc.to] = u;
+      parc[arc.to] = arc.edge;
       // Discovery row index: the sigma component repairs compare to
       // reconstruct discovery order without replaying the BFS.
       pidx_[arc.to] = static_cast<std::uint32_t>(ai);
@@ -241,7 +282,7 @@ BfsTreeAnswer BfsRunner::tree_next(VertexId v) {
   if (!tree_faults_.vertex_alive(v)) return {kUnreachableHops, 0};
   FTSPAN_REQUIRE(tmark_[v] == epoch_ || amark_[v] == epoch_,
                  "tree_next target was not in the tree_begin target set");
-  if (amark_[v] == epoch_) return {node_[v].dist, tpos_[v]};
+  if (amark_[v] == epoch_) return {dist_[v], tpos_[v]};
 
   const bool check_v = !tree_faults_.failed_vertices.empty();
   const bool check_e = !tree_faults_.failed_edges.empty();
@@ -249,6 +290,69 @@ BfsTreeAnswer BfsRunner::tree_next(VertexId v) {
   if (check_v) return tree_next_impl<true, false>(v);
   if (check_e) return tree_next_impl<false, true>(v);
   return tree_next_impl<false, false>(v);
+}
+
+void BfsRunner::tree_insert_source_arc(VertexId v, EdgeId via_edge) {
+  FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
+                 "no open terminal-tree session (another search ended it?)");
+  FTSPAN_REQUIRE(tree_head_ == queue_.size(),
+                 "tree_insert_source_arc requires an exhausted session");
+  FTSPAN_ASSERT(!repair_dirty_,
+                "tree_insert_source_arc with outstanding repairs");
+  repair_ready_ = false;  // repair mirrors of the pre-graft tree are stale
+  const Graph& g = *tree_g_;
+  const FaultView& faults = tree_faults_;
+  FTSPAN_REQUIRE(v < g.n(), "tree graft target out of range");
+  if (queue_.empty() || !faults.vertex_alive(v)) return;  // dead source/target
+  FTSPAN_REQUIRE(stamp_[v] != epoch_,
+                 "tree graft target was already reached (not an accept?)");
+  const std::uint32_t max_hops = tree_max_hops_;
+  const VertexId s = queue_.front();
+
+  // v enters at depth 1 over the grafted arc (the last arc of the source's
+  // row).  Improved vertices are answered/memoized here, never appended to
+  // queue_: tree_head_ stays at the end, so pending targets the improvement
+  // wave misses keep falling through tree_next to the unreachable answer.
+  dist_[v] = 1;
+  stamp_[v] = epoch_;
+  parent_[v] = s;
+  parent_arc_[v] = via_edge;
+  pidx_[v] = static_cast<std::uint32_t>(g.degree(s) - 1);
+  if (tmark_[v] == epoch_ || amark_[v] == epoch_) {
+    tmark_[v] = 0;
+    amark_[v] = epoch_;
+    tpos_[v] = expanded_count_;
+  }
+
+  iqueue_.clear();
+  iqueue_.push_back(v);
+  for (std::size_t head = 0; head < iqueue_.size(); ++head) {
+    const VertexId x = iqueue_[head];
+    const std::uint32_t dx = dist_[x];
+    if (dx >= max_hops) continue;  // deepest level: never scanned
+    const bool frontier_next = dx + 1 >= max_hops;
+    const auto arcs = g.neighbors(x);
+    arcs_scanned_ += arcs.size();
+    for (std::size_t ai = 0; ai < arcs.size(); ++ai) {
+      const auto& arc = arcs[ai];
+      if (frontier_next && tmark_[arc.to] != epoch_) continue;
+      const std::uint32_t nd = dx + 1;
+      if (stamp_[arc.to] == epoch_ && dist_[arc.to] <= nd) continue;
+      if (!faults.edge_alive(arc.edge)) continue;
+      if (!faults.vertex_alive(arc.to)) continue;
+      dist_[arc.to] = nd;
+      stamp_[arc.to] = epoch_;
+      parent_[arc.to] = x;
+      parent_arc_[arc.to] = arc.edge;
+      pidx_[arc.to] = static_cast<std::uint32_t>(ai);
+      if (tmark_[arc.to] == epoch_) {
+        tmark_[arc.to] = 0;
+        amark_[arc.to] = epoch_;
+        tpos_[arc.to] = expanded_count_;
+      }
+      iqueue_.push_back(arc.to);
+    }
+  }
 }
 
 // ------------------------------------------- masked-tree incremental repair
@@ -298,9 +402,9 @@ void BfsRunner::repair_init() {
   tree_complete();
   ensure_repair_arrays();
   for (const VertexId x : queue_) {
-    rdist_[x] = node_[x].dist;
-    rpar_[x] = node_[x].parent;
-    redge_[x] = node_[x].parent_arc;
+    rdist_[x] = dist_[x];
+    rpar_[x] = parent_[x];
+    redge_[x] = parent_arc_[x];
     rpidx_[x] = pidx_[x];
   }
   if (rbuckets_.size() < static_cast<std::size_t>(tree_max_hops_) + 2)
@@ -401,7 +505,7 @@ void BfsRunner::repair_resolve(VertexId w) {
   for (const auto& arc : g.neighbors(w)) {
     if (check_edges && !repair_cut_.edge_alive(arc.edge)) continue;
     const VertexId x = arc.to;
-    if (node_[x].stamp != epoch_ || rdist_[x] != d - 1) continue;
+    if (stamp_[x] != epoch_ || rdist_[x] != d - 1) continue;
     if (x == best) continue;  // parallel-arc repeat
     repair_resolve(x);
     if (best == kInvalidVertex || sigma_less(x, best)) best = x;
@@ -455,18 +559,18 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
   // vertices one level below a cut vertex / behind a cut arc can have lost
   // their distance support.
   for (const VertexId c : vertices) {
-    if (c >= node_.size() || node_[c].stamp != epoch_) continue;  // off-tree
+    if (c >= capacity() || stamp_[c] != epoch_) continue;  // off-tree
     if (rdist_[c] == kUnreachableHops) continue;  // already unreachable
     const std::uint32_t dc = rdist_[c];
     repair_set(kRDist, c, kUnreachableHops);  // c leaves the graph outright
     for (const auto& arc : g.neighbors(c))
-      if (node_[arc.to].stamp == epoch_ && rdist_[arc.to] == dc + 1)
+      if (stamp_[arc.to] == epoch_ && rdist_[arc.to] == dc + 1)
         repair_enqueue(arc.to);
   }
   for (const EdgeId e : edges) {
     const Edge& ed = g.edge(e);
-    if (ed.u >= node_.size() || node_[ed.u].stamp != epoch_ ||
-        ed.v >= node_.size() || node_[ed.v].stamp != epoch_)
+    if (ed.u >= capacity() || stamp_[ed.u] != epoch_ ||
+        ed.v >= capacity() || stamp_[ed.v] != epoch_)
       continue;
     const std::uint32_t du = rdist_[ed.u], dv = rdist_[ed.v];
     if (du == kUnreachableHops || dv == kUnreachableHops) continue;
@@ -483,6 +587,16 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
   // bucket d runs every rdist == d-1 is final.
   for (std::uint32_t d = 1; d <= tree_max_hops_; ++d) {
     auto& bucket = rbuckets_[d];
+    // Within one level the final distances are order-free (support comes
+    // only from the finalized level above), so the bucket may be processed
+    // in any order without changing results.  Scan shortest rows first:
+    // low-degree vertices are the likeliest to sink and re-enqueue work,
+    // and surfacing that work early keeps the deeper buckets coherent
+    // instead of interleaving short and kilo-arc row scans.
+    std::sort(bucket.begin(), bucket.end(), [&g](VertexId a, VertexId b) {
+      const std::size_t da = g.degree(a), db = g.degree(b);
+      return da != db ? da < db : a < b;
+    });
     for (std::size_t bi = 0; bi < bucket.size(); ++bi) {
       const VertexId w = bucket[bi];
       rqueued_[w] = 0;  // popped: later threats must re-enqueue
@@ -490,7 +604,7 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
       bool supported = false;
       for (const auto& arc : g.neighbors(w)) {
         if (check_edges && !cut.edge_alive(arc.edge)) continue;
-        if (node_[arc.to].stamp == epoch_ && rdist_[arc.to] == d - 1) {
+        if (stamp_[arc.to] == epoch_ && rdist_[arc.to] == d - 1) {
           supported = true;
           break;
         }
@@ -499,7 +613,7 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
       const bool off = d + 1 > tree_max_hops_;
       repair_set(kRDist, w, off ? kUnreachableHops : d + 1);
       for (const auto& arc : g.neighbors(w))
-        if (node_[arc.to].stamp == epoch_ && rdist_[arc.to] == d + 1)
+        if (stamp_[arc.to] == epoch_ && rdist_[arc.to] == d + 1)
           repair_enqueue(arc.to);
       if (!off) repair_enqueue(w);
     }
@@ -510,14 +624,14 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
 std::uint32_t BfsRunner::tree_masked_dist(VertexId v) const {
   FTSPAN_ASSERT(tree_g_ != nullptr && tree_epoch_ == epoch_,
                 "tree_masked_dist outside a session");
-  if (v >= node_.size() || node_[v].stamp != epoch_) return kUnreachableHops;
-  return repair_ready_ ? rdist_[v] : node_[v].dist;
+  if (v >= capacity() || stamp_[v] != epoch_) return kUnreachableHops;
+  return repair_ready_ ? rdist_[v] : dist_[v];
 }
 
 void BfsRunner::tree_masked_path_arcs(VertexId v, std::vector<PathStep>& out) {
   FTSPAN_ASSERT(repair_ready_ && tree_epoch_ == epoch_,
                 "tree_masked_path_arcs without repair state");
-  FTSPAN_ASSERT(v < node_.size() && node_[v].stamp == epoch_ &&
+  FTSPAN_ASSERT(v < capacity() && stamp_[v] == epoch_ &&
                     rdist_[v] != kUnreachableHops,
                 "tree_masked_path_arcs target is not in the repaired tree");
   repair_resolve(v);  // after which the stored chain is the lex-min path
@@ -562,8 +676,7 @@ void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>&
   run(g, s, kInvalidVertex, faults, max_hops);
   out.assign(g.n(), kUnreachableHops);
   for (VertexId v = 0; v < g.n(); ++v)
-    if (node_[v].stamp == epoch_ && node_[v].dist <= max_hops)
-      out[v] = node_[v].dist;
+    if (stamp_[v] == epoch_ && dist_[v] <= max_hops) out[v] = dist_[v];
 }
 
 // ----------------------------------------------------------- DijkstraRunner
@@ -571,7 +684,12 @@ void BfsRunner::all_hops(const Graph& g, VertexId s, std::vector<std::uint32_t>&
 DijkstraRunner::DijkstraRunner(std::size_t n) { ensure(n); }
 
 void DijkstraRunner::ensure(std::size_t n) {
-  if (n > node_.size()) node_.resize(n);
+  if (n > node_.size()) node_.resize(slab_round_up(n));
+}
+
+std::size_t DijkstraRunner::arena_bytes() const noexcept {
+  return node_.capacity() * sizeof(Node) +
+         heap_.capacity() * sizeof(std::pair<Weight, VertexId>);
 }
 
 void DijkstraRunner::begin_epoch() {
@@ -591,27 +709,35 @@ Weight DijkstraRunner::run(const Graph& g, VertexId s, VertexId t,
   if (!faults.vertex_alive(s)) return kUnreachableWeight;
   if (t != kInvalidVertex && !faults.vertex_alive(t)) return kUnreachableWeight;
 
-  using Item = std::pair<Weight, VertexId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  // Min-heap over the reused member buffer: push_heap/pop_heap with the same
+  // std::greater comparison std::priority_queue would use, so the pop order
+  // — and therefore every parent pick — is identical, but the buffer keeps
+  // its high-water capacity across the Θ(m·f) searches of a build.
+  const std::greater<> cmp{};
+  heap_.clear();
   Node* const node = node_.data();
   node[s] = Node{0.0, kInvalidVertex, kInvalidEdge, epoch_, 0};
-  heap.emplace(0.0, s);
+  heap_.emplace_back(0.0, s);
 
-  while (!heap.empty()) {
-    const auto [du, u] = heap.top();
-    heap.pop();
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const auto [du, u] = heap_.back();
+    heap_.pop_back();
     if (node[u].stamp != epoch_ || node[u].settled != 0 || du > node[u].dist)
       continue;
     node[u].settled = 1;
     if (du > budget) break;
     if (u == t) return du;
-    for (const auto& arc : g.neighbors(u)) {
+    const auto arcs = g.neighbors(u);
+    arcs_scanned_ += arcs.size();
+    for (const auto& arc : arcs) {
       if (!faults.edge_alive(arc.edge) || !faults.vertex_alive(arc.to)) continue;
       const Weight cand = du + arc.w;
       if (cand > budget) continue;
       if (node[arc.to].stamp != epoch_ || cand < node[arc.to].dist) {
         node[arc.to] = Node{cand, u, arc.edge, epoch_, 0};
-        heap.emplace(cand, arc.to);
+        heap_.emplace_back(cand, arc.to);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
       }
     }
   }

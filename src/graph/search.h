@@ -3,9 +3,24 @@
 // Both runners keep epoch-stamped per-vertex state, so repeated queries on
 // graphs with the same vertex count cost no O(n) re-initialization — the
 // greedy spanner algorithms issue Θ(m·f) of these queries on a growing
-// subgraph H, which makes this the hottest code in the library.  Both
-// engines pack their per-vertex state into a single record (16 bytes for
-// BFS, 24 for Dijkstra) so each vertex visit touches one cache line.
+// subgraph H, which makes this the hottest code in the library.
+//
+// BFS state is struct-of-arrays: dist/stamp/parent/parent-arc live in four
+// parallel arrays instead of one 16-byte record.  The per-arc duplicate
+// check (`stamp[to] == epoch`) dominates the inner loop and touches ONLY the
+// stamp array, which SoA packs 4× denser (16 stamps per cache line instead
+// of 4) — at million-vertex scale the stamp array of a 2^20-vertex graph is
+// 4 MiB and lives mostly in L2, where the interleaved record layout spilled
+// every search to DRAM.  dist/parent/parent-arc are only written on
+// discovery (once per vertex), so splitting them off costs nothing.
+// Dijkstra keeps its 24-byte record: its inner loop reads dist and stamp
+// together on every relaxation, so the record *is* the hot set there.
+//
+// Per-vertex buffers grow in slabs (kStateSlabVertices) from a high-water
+// mark and are never shrunk: a runner serving graphs of slightly different
+// sizes re-reserves nothing, and all runners of a thread pool land on the
+// same allocation size classes.  arena_bytes() reports the total footprint —
+// the per-runner source of truth behind the E16 bench's allocations column.
 //
 // Searches track parent *arcs*, not just parent vertices: the *_arcs path
 // overloads return (vertex, edge-id) steps, so callers that need the edges
@@ -44,8 +59,19 @@ struct FaultView {
 /// Builds a FaultView over a Mask / ScratchMask pair (either may be null).
 [[nodiscard]] FaultView make_fault_view(const Mask* vertices, const Mask* edges);
 
+/// Per-vertex state buffers grow in slabs of this many vertices (a 4096
+/// vertex slab is 16 KiB per uint32 array): reservations for nearby
+/// universe sizes coalesce onto identical allocation size classes, and
+/// growth is from the high-water mark, never per search.
+inline constexpr std::size_t kStateSlabVertices = 4096;
+
+/// Rounds a vertex count up to slab granularity.
+[[nodiscard]] constexpr std::size_t slab_round_up(std::size_t n) noexcept {
+  return (n + kStateSlabVertices - 1) / kStateSlabVertices * kStateSlabVertices;
+}
+
 /// Answer for one target of a terminal-tree session (BfsRunner::tree_begin /
-/// tree_next).
+/// BfsRunner::tree_next).
 struct BfsTreeAnswer {
   /// Hop distance from the session source (kUnreachableHops when the target
   /// is beyond max_hops, unreachable, or failed).
@@ -103,6 +129,17 @@ class BfsRunner {
     return {queue_.data(), expanded_count_};
   }
 
+  /// Arcs scanned by search expansions on this runner, cumulative over its
+  /// lifetime: every adjacency-row entry read while expanding a vertex in a
+  /// plain search or a terminal-tree session.  This is the work term of the
+  /// paper's O(f^{1-1/k} n^{1/k} m) bound measured directly — the E16
+  /// bench's arcs-traversed column.
+  [[nodiscard]] ArcIndex arcs_scanned() const noexcept { return arcs_scanned_; }
+
+  /// Bytes currently held by this runner's per-vertex state, queue, and
+  /// repair buffers (capacities, i.e. what the allocator actually granted).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept;
+
   // --- terminal-tree sessions (terminal-batched LBC, src/core/lbc.h) ---
   //
   // A session is a lazily-expanded BFS tree from one source that answers
@@ -137,6 +174,26 @@ class BfsRunner {
   /// format as shortest_path_arcs; does not re-run anything.
   void path_arcs_to(VertexId v, std::vector<PathStep>& out) const;
 
+  /// Grafts a just-appended graph edge (source, v) into the EXHAUSTED tree of
+  /// the open session instead of discarding it: v enters at depth 1 and a
+  /// distance-improvement BFS propagates through the strictly improved
+  /// region, answering any pending targets it reaches.  After the graft the
+  /// session keeps answering tree_next queries with distances that are exact
+  /// for the grown graph.
+  ///
+  /// This is a DISTANCE-ONLY overlay: parent arcs stay valid (consistent
+  /// dist chains, so path_arcs_to never breaks) but are no longer the lex-min
+  /// chains a dedicated search would pick, and queue order / expanded_prefix
+  /// / last_visited are not updated for the improved region.  Callers that
+  /// consume only the distance answers — LBC(t, 0) decisions, which build no
+  /// cut and record no trace — get bit-identical results at a fraction of a
+  /// full re-expansion; anything reading paths, traces, or repair state must
+  /// re-begin the session instead (LbcSolver gates this on alpha == 0).
+  ///
+  /// Requires: an open session whose expansion is exhausted (the accepting
+  /// unreachable answer guarantees this), and v not yet reached by it.
+  void tree_insert_source_arc(VertexId v, EdgeId via_edge);
+
   // --- incremental repair under a growing cut (masked-tree LBC) -----------
   //
   // Once a session's tree is complete, it can survive cut growth: instead of
@@ -164,8 +221,8 @@ class BfsRunner {
   //      the lex-min tournament one level up.
   // Every overlay write is logged so tree_rollback() restores the clean
   // tree in O(log size) for the next decision of the batch.  All repair
-  // state lives beside the session (node_ itself is never touched), so
-  // pending tree_next answers are unaffected.
+  // state lives beside the session (the search arrays themselves are never
+  // touched), so pending tree_next answers are unaffected.
 
   /// Expands the open session to exhaustion (the full <= max_hops ball).
   /// Every pending target is answered exactly as an explicit tree_next
@@ -210,9 +267,9 @@ class BfsRunner {
 
   /// Pre-sizes the per-vertex state — including the terminal-tree session
   /// arrays — for graphs with up to `n` vertices, so the first search or
-  /// session allocates nothing (per-thread arena warm-up).  Runners that
-  /// never open sessions can skip reserve(); the session arrays also grow
-  /// lazily in tree_begin.
+  /// session allocates nothing (per-thread arena warm-up).  The reservation
+  /// is quantized to kStateSlabVertices.  Runners that never open sessions
+  /// can skip reserve(); the session arrays also grow lazily in tree_begin.
   void reserve(std::size_t n) {
     ensure(n);
     ensure_session_arrays();
@@ -220,13 +277,9 @@ class BfsRunner {
   }
 
  private:
-  /// Per-vertex search state, one cache-line-friendly record.
-  struct Node {
-    std::uint32_t dist = 0;
-    std::uint32_t stamp = 0;
-    VertexId parent = kInvalidVertex;
-    EdgeId parent_arc = kInvalidEdge;
-  };
+  // Per-vertex search state, struct-of-arrays (see the header comment):
+  // stamp_ is the hot dup-check array; dist_/parent_/parent_arc_ are written
+  // once per discovery and read only during answer/path extraction.
 
   /// Runs BFS from s; stops early once t is settled.  Returns dist(t).
   std::uint32_t run(const Graph& g, VertexId s, VertexId t,
@@ -240,6 +293,9 @@ class BfsRunner {
   void ensure_session_arrays();
   void ensure_repair_arrays();
   void begin_epoch();
+
+  /// Vertex-universe capacity the state arrays are sized for.
+  [[nodiscard]] std::size_t capacity() const noexcept { return stamp_.size(); }
 
   // --- repair internals ---
   /// One logged write: repair_arrays()[array][index] held `value`.
@@ -255,10 +311,15 @@ class BfsRunner {
   void repair_resolve(VertexId w);
   bool sigma_less(VertexId a, VertexId b) const;
 
-  std::vector<Node> node_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_arc_;
   std::vector<VertexId> queue_;
+  std::vector<VertexId> iqueue_;  ///< tree_insert_source_arc work queue
   std::size_t expanded_count_ = 0;
   std::uint32_t epoch_ = 0;
+  ArcIndex arcs_scanned_ = 0;
 
   // Terminal-tree session state (valid while tree_epoch_ == epoch_).
   const Graph* tree_g_ = nullptr;
@@ -321,10 +382,17 @@ class DijkstraRunner {
                      const FaultView& faults = {},
                      Weight budget = kUnreachableWeight);
 
+  /// Arcs relaxed, cumulative; see BfsRunner::arcs_scanned.
+  [[nodiscard]] ArcIndex arcs_scanned() const noexcept { return arcs_scanned_; }
+
+  /// Bytes held by the per-vertex state and the reused heap buffer.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept;
+
  private:
-  /// Per-vertex search state packed into one record (24 bytes), mirroring the
-  /// BFS engine: each heap pop / relaxation touches a single cache line
-  /// instead of five parallel arrays.
+  /// Per-vertex search state packed into one record (24 bytes): unlike BFS,
+  /// every Dijkstra relaxation reads dist and stamp *together* (the decrease
+  /// test), so the record is the hot set and splitting it would double the
+  /// cache lines touched per relaxation.
   struct Node {
     Weight dist = 0.0;
     VertexId parent = kInvalidVertex;
@@ -339,7 +407,13 @@ class DijkstraRunner {
   void begin_epoch();
 
   std::vector<Node> node_;
+  /// Reused min-heap buffer: std::push_heap/std::pop_heap over this vector
+  /// is exactly what std::priority_queue does, minus the per-search
+  /// construction/destruction of the container — identical pop order, zero
+  /// per-call allocation once at the high-water mark.
+  std::vector<std::pair<Weight, VertexId>> heap_;
   std::uint32_t epoch_ = 0;
+  ArcIndex arcs_scanned_ = 0;
 };
 
 }  // namespace ftspan

@@ -12,6 +12,16 @@ using VertexId = std::uint32_t;
 using EdgeId = std::uint32_t;
 using Weight = double;
 
+/// Index/count type for the flat CSR arc array.  Vertex and edge ids stay
+/// 32-bit (n, m < 2^32 — an edge list alone at 2^32 is ~100 GiB), but the
+/// arc array holds TWO arcs per edge plus relocation slack, so its length
+/// crosses 2^32 while edge ids are still comfortably in range.  Everything
+/// that indexes or counts arcs — row offsets, scan cursors, traversal
+/// counters — must use this 64-bit type, never VertexId/EdgeId.
+using ArcIndex = std::uint64_t;
+
+static_assert(sizeof(ArcIndex) == 8, "arc offsets must not wrap at 2^32 arcs");
+
 inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
 inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
 

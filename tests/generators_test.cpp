@@ -186,6 +186,85 @@ TEST(Generators, WattsStrogatzZeroBetaIsRingLattice) {
   for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
 }
 
+TEST(Generators, RmatIsDeterministicGivenSeed) {
+  Rng a(77), b(77);
+  const Graph ga = rmat(10, 8, a);
+  const Graph gb = rmat(10, 8, b);
+  ASSERT_EQ(ga.n(), gb.n());
+  ASSERT_EQ(ga.m(), gb.m());
+  for (EdgeId i = 0; i < ga.m(); ++i) {
+    EXPECT_EQ(ga.edge(i).u, gb.edge(i).u);
+    EXPECT_EQ(ga.edge(i).v, gb.edge(i).v);
+  }
+}
+
+TEST(Generators, KroneckerIsDeterministicGivenSeed) {
+  Rng a(31), b(31);
+  const Graph ga = kronecker(10, 8, a);
+  const Graph gb = kronecker(10, 8, b);
+  ASSERT_EQ(ga.m(), gb.m());
+  for (EdgeId i = 0; i < ga.m(); ++i) {
+    EXPECT_EQ(ga.edge(i).u, gb.edge(i).u);
+    EXPECT_EQ(ga.edge(i).v, gb.edge(i).v);
+  }
+}
+
+TEST(Generators, RmatRespectsScaleAndEdgeBudget) {
+  Rng rng(5);
+  const std::size_t scale = 12, ef = 16;
+  const Graph g = rmat(scale, ef, rng);
+  EXPECT_EQ(g.n(), std::size_t{1} << scale);
+  // Cleanup (self-loops + duplicates) only removes edges, never adds.
+  EXPECT_LE(g.m(), g.n() * ef);
+  // The skew keeps collisions well under half the budget at this density.
+  EXPECT_GE(g.m(), g.n() * ef / 2);
+}
+
+TEST(Generators, RmatSkewProducesHubs) {
+  Rng rng(5);
+  const Graph g = rmat(12, 16, rng);
+  // Graph500 parameters concentrate mass: the max degree dwarfs the mean.
+  EXPECT_GT(g.max_degree(), 10 * 2 * g.m() / g.n());
+}
+
+TEST(Generators, KroneckerIsRelabeledRmat) {
+  // The Kronecker family draws the same tuple stream (Graph500 parameters)
+  // and then applies a random vertex bijection, so with the same seed the
+  // degree *multiset* survives even though the labels differ.
+  Rng a(9), b(9);
+  const Graph gr = rmat(10, 8, a, 0.57, 0.19, 0.19);
+  const Graph gk = kronecker(10, 8, b);
+  ASSERT_EQ(gr.m(), gk.m());
+  std::vector<std::size_t> dr(gr.n()), dk(gk.n());
+  for (VertexId v = 0; v < gr.n(); ++v) dr[v] = gr.degree(v);
+  for (VertexId v = 0; v < gk.n(); ++v) dk[v] = gk.degree(v);
+  std::sort(dr.begin(), dr.end());
+  std::sort(dk.begin(), dk.end());
+  EXPECT_EQ(dr, dk);
+}
+
+TEST(Generators, RmatHasNoSelfLoopsOrDuplicates) {
+  Rng rng(3);
+  const Graph g = rmat(9, 12, rng);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(g.m());
+  for (const auto& e : g.edges()) {
+    EXPECT_NE(e.u, e.v);
+    const auto lo = std::min(e.u, e.v), hi = std::max(e.u, e.v);
+    keys.push_back((static_cast<std::uint64_t>(lo) << 32) | hi);
+  }
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(Generators, RmatRejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_THROW(rmat(0, 16, rng), std::invalid_argument);
+  EXPECT_THROW(rmat(31, 16, rng), std::invalid_argument);
+  EXPECT_THROW(rmat(10, 16, rng, 0.0, 0.3, 0.3), std::invalid_argument);
+  EXPECT_THROW(rmat(10, 16, rng, 0.5, 0.3, 0.3), std::invalid_argument);
+}
+
 TEST(Generators, UniformWeightsInRange) {
   Rng rng(6);
   const Graph base = cycle_graph(30);

@@ -118,6 +118,57 @@ TEST(TerminalTree, DisconnectedTargetsAreUnreachable) {
   EXPECT_EQ(tree.tree_next(3).dist, kUnreachableHops);
 }
 
+TEST(TerminalTree, GraftMatchesDedicatedDistances) {
+  // tree_insert_source_arc is a distance-only overlay: after grafting a new
+  // (source, v) edge into an exhausted session, every target's distance must
+  // match a dedicated BFS on the grown graph (the alpha == 0 accept path of
+  // the greedy engines).
+  Rng rng(9004);
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = gnp(60, 0.04 + 0.01 * trial, rng);  // sparse: some unreachable
+    const auto s = static_cast<VertexId>(rng.next_below(g.n()));
+    const std::uint32_t max_hops = 3;
+    std::vector<VertexId> targets;
+    for (VertexId v = 0; v < g.n(); ++v)
+      if (v != s) targets.push_back(v);
+
+    BfsRunner tree;
+    tree.tree_begin(g, s, targets, {}, max_hops);
+    tree.tree_complete();
+
+    BfsRunner single;
+    int grafts = 0;
+    for (const VertexId v : targets) {
+      if (tree.tree_next(v).dist != kUnreachableHops) continue;
+      if (g.has_edge(s, v)) continue;
+      // Accept (s, v): append to the graph, graft into the session.
+      g.add_edge(s, v);
+      tree.tree_insert_source_arc(v, static_cast<EdgeId>(g.m() - 1));
+      ++grafts;
+      for (const VertexId w : targets) {
+        EXPECT_EQ(tree.tree_next(w).dist,
+                  single.hop_distance(g, s, w, {}, max_hops))
+            << "s=" << s << " graft=" << v << " w=" << w;
+      }
+      if (grafts == 3) break;  // a few cascading grafts per trial suffice
+    }
+    EXPECT_GT(grafts, 0) << "trial " << trial << " exercised nothing";
+  }
+}
+
+TEST(TerminalTree, GraftRequiresExhaustedSession) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  BfsRunner tree;
+  const std::vector<VertexId> targets = {2, 4};
+  tree.tree_begin(g, 0, targets, {}, 3);
+  g.add_edge(0, 4);
+  // Nothing expanded yet: the graft precondition must fire.
+  EXPECT_THROW(tree.tree_insert_source_arc(4, static_cast<EdgeId>(g.m() - 1)),
+               std::invalid_argument);
+}
+
 TEST(TerminalTree, SessionEndsWithAnotherSearch) {
   Rng rng(9003);
   const Graph g = gnp(20, 0.3, rng);
@@ -237,6 +288,31 @@ TEST(LbcBatch, GreedyPicksMatchUnbatchedWeighted) {
   const Graph g = with_uniform_weights(g0, 0.5, 2.0, rng);
   expect_greedy_batch_equivalence(g, SpannerParams{.k = 3, .f = 1},
                                   EdgeOrder::by_weight);
+}
+
+TEST(LbcBatch, GreedyPicksMatchUnbatchedFaultFree) {
+  // f == 0 routes accepts through the in-place tree graft
+  // (extend_batch_after_accept) instead of re-beginning the batch; picks,
+  // call counts, and sweeps must be indistinguishable from the per-edge
+  // engine.  The hub-heavy R-MAT instance is the case that matters: its
+  // long same-source runs take many accepts per shared tree.
+  Rng rng(9023);
+  for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+    const Graph g = gnp(64, 0.15, rng);
+    expect_greedy_batch_equivalence(
+        g, SpannerParams{.k = 2, .f = 0, .model = model}, EdgeOrder::input);
+  }
+  const Graph hubs = rmat(8, 8, rng);
+  expect_greedy_batch_equivalence(hubs, SpannerParams{.k = 2, .f = 0},
+                                  EdgeOrder::input);
+  expect_greedy_batch_equivalence(hubs, SpannerParams{.k = 3, .f = 0},
+                                  EdgeOrder::input);
+
+  // The graft path must actually have run.
+  ModifiedGreedyConfig config;
+  const auto build =
+      modified_greedy_spanner(hubs, SpannerParams{.k = 2, .f = 0}, config);
+  EXPECT_GT(build.stats.tree_extends, 0u);
 }
 
 TEST(LbcBatch, GreedyPicksMatchUnbatchedRandomOrder) {

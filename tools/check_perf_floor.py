@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""CI gate for the perf-multicore bench lane.
+"""CI gate for the perf bench lanes.
 
-Validates a BENCH_e4_runtime.json produced on a multicore runner:
+Default (E4) mode validates a BENCH_e4_runtime.json produced on a multicore
+runner:
 
 1. the runner really was multicore: at least one modified row ran with
    threads_used > 1, and every multi-thread row has a measured (non-null)
@@ -13,12 +14,24 @@ Validates a BENCH_e4_runtime.json produced on a multicore runner:
 3. no config regressed by more than the budget vs the checked-in per-config
    floor (bench/ci_perf_floor.json): seconds <= floor_seconds * (1 + slack).
 
+--e16 mode validates a BENCH_e16_scale.json from the large-instance sweep.
+E16 floor entries are keyed on (family, scale, f, k, threads) and carry two
+gates per config: `seconds` (wall-clock, with the same relative slack) and
+`max_peak_rss_mb` (a hard memory ceiling — no slack; RSS regressions at
+scale are the failure mode this lane exists to catch).  An entry may also
+pin `spanner_m`: the generators are seeded deterministically, so the built
+spanner size must reproduce exactly run over run.  Floor entries with no
+matching row are reported but do not fail — the per-push lane runs only the
+smallest large config while the nightly sweep covers every scale.
+
 Usage:
   check_perf_floor.py MAIN.json --floor bench/ci_perf_floor.json \
-      [--ab AB1.json AB2.json ...] [--slack 0.25]
+      [--e16] [--ab AB1.json AB2.json ...] [--slack 0.25]
 
-Exits non-zero with a per-failure report; prints the recorded speedups so
-the CI log shows the perf trajectory at a glance.
+The floor file is an object {"e4": [...], "e16": [...]}; a bare list is
+accepted as e4-only for compatibility.  Exits non-zero with a per-failure
+report; prints the measured rows so the CI log shows the perf trajectory
+at a glance.
 """
 
 import argparse
@@ -30,16 +43,77 @@ def config_key(row):
     return (row["algo"], row["n"], row["f"], row["k"])
 
 
+def e16_key(row):
+    return (row["family"], row["scale"], row["f"], row["k"], row["threads"])
+
+
 def load(path):
     with open(path) as fh:
         return json.load(fh)
 
 
+def load_floors(path, section):
+    floors = load(path)
+    if isinstance(floors, list):  # legacy flat file: e4 entries only
+        return floors if section == "e4" else []
+    return floors.get(section, [])
+
+
+def check_e16(rows, floors, slack):
+    """Gate an E16 sweep: wall-clock with slack, RSS as a hard ceiling,
+    spanner_m pinned exactly when the floor entry records it."""
+    failures = []
+    indexed = {e16_key(r): r for r in rows}
+    checked = 0
+    for floor in floors:
+        key = (floor["family"], floor["scale"], floor["f"], floor["k"],
+               floor["threads"])
+        row = indexed.pop(key, None)
+        if row is None:
+            print("  (floor config %s not in this run — nightly-only)"
+                  % (key,))
+            continue
+        checked += 1
+        budget = floor["seconds"] * (1.0 + slack)
+        if row["seconds"] > budget:
+            failures.append(
+                "%s: %.2fs exceeds the floor %.2fs + %d%% slack (= %.2fs)"
+                % (key, row["seconds"], floor["seconds"],
+                   round(slack * 100), budget))
+        ceiling = floor.get("max_peak_rss_mb")
+        if ceiling is not None and row["peak_rss_mb"] > ceiling:
+            failures.append(
+                "%s: peak RSS %.0f MB exceeds the hard ceiling %.0f MB"
+                % (key, row["peak_rss_mb"], ceiling))
+        pinned = floor.get("spanner_m")
+        if pinned is not None and row["spanner_m"] != pinned:
+            failures.append(
+                "%s: spanner_m %d != pinned %d — a seeded run is no longer "
+                "deterministic (or decisions changed)"
+                % (key, row["spanner_m"], pinned))
+    if checked == 0:
+        failures.append("no E16 row matched any floor config — the sweep "
+                        "measured nothing the gate covers")
+    for key in indexed:
+        failures.append("E16 row %s has no floor entry — add one to "
+                        "ci_perf_floor.json before landing a new config"
+                        % (key,))
+    for r in sorted(rows, key=e16_key):
+        print("  %-10s scale=%-2d f=%d k=%d threads=%d  %8.2fs  gen %6.2fs  "
+              "rss %6.0f MB  m(H)=%d  grafts=%d"
+              % (r["family"], r["scale"], r["f"], r["k"], r["threads"],
+                 r["seconds"], r["gen_seconds"], r["peak_rss_mb"],
+                 r["spanner_m"], r["tree_extends"]))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("main", help="BENCH_e4_runtime.json from the perf lane")
+    parser.add_argument("main", help="bench JSON from the perf lane")
     parser.add_argument("--floor", required=True,
                         help="checked-in per-config floor (ci_perf_floor.json)")
+    parser.add_argument("--e16", action="store_true",
+                        help="validate a BENCH_e16_scale.json instead of E4")
     parser.add_argument("--ab", nargs="*", default=[],
                         help="A/B run JSONs that must keep sweeps/spanner_m")
     parser.add_argument("--slack", type=float, default=0.25,
@@ -48,6 +122,20 @@ def main():
 
     rows = load(args.main)
     failures = []
+
+    if args.e16:
+        floors = load_floors(args.floor, "e16")
+        print("e16 scale lane: %d rows, %d floor configs"
+              % (len(rows), len(floors)))
+        failures = check_e16(rows, floors, args.slack)
+        if failures:
+            print("\nFAILURES:", file=sys.stderr)
+            for failure in failures:
+                print("  - " + failure, file=sys.stderr)
+            return 1
+        print("all checks passed: within floor, under RSS ceiling, "
+              "deterministic")
+        return 0
 
     # 1. Multicore proof: the lane exists to measure threads, so a clamped
     #    (threads_used == 1) run means the runner cannot validate anything.
@@ -91,7 +179,7 @@ def main():
                        reference[key][0]))
 
     # 3. Regression gate against the checked-in floor.
-    floors = load(args.floor)
+    floors = load_floors(args.floor, "e4")
     indexed = {(config_key(r) + (r["threads"],)): r for r in rows}
     for floor in floors:
         key = (floor["algo"], floor["n"], floor["f"], floor["k"],

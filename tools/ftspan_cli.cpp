@@ -15,8 +15,11 @@
 //                     [--threads 1]   (sampled only; fans trials over the
 //                     shared pool, report identical at any count)
 //   ftspan_cli info   --in g.graph
-//   ftspan_cli gen    --out g.graph --family gnp|geometric|grid|hypercube
+//   ftspan_cli gen    --out g.graph
+//                     --family gnp|geometric|grid|hypercube|rmat|kronecker
 //                     [--n 256] [--p 0.1] [--seed 1] [--weighted]
+//                     [--scale 10] [--edgefactor 16]   (rmat/kronecker:
+//                     n = 2^scale, ~edgefactor edges per vertex, --n ignored)
 //
 // Graphs use the ftspan edge-list format (see src/graph/io.h).
 
@@ -47,8 +50,9 @@ int usage() {
                " [--model vertex|edge] [--trials 200] [--exhaustive]"
                " [--threads 1]\n"
                "  info   --in G\n"
-               "  gen    --out G --family gnp|geometric|grid|hypercube"
-               " [--n 256] [--p 0.1] [--seed 1] [--weighted]\n";
+               "  gen    --out G --family gnp|geometric|grid|hypercube|rmat|kronecker"
+               " [--n 256] [--p 0.1] [--seed 1] [--weighted]"
+               " [--scale 10] [--edgefactor 16]\n";
   return 2;
 }
 
@@ -198,8 +202,15 @@ int cmd_gen(const Cli& cli) {
     std::size_t dim = 0;
     while ((std::size_t{1} << (dim + 1)) <= n) ++dim;
     g = hypercube_graph(dim);
+  } else if (family == "rmat" || family == "kronecker") {
+    // Scale workloads are parameterized Graph500-style: n = 2^scale,
+    // ~edgefactor edges per vertex (--n is ignored).
+    const auto scale = static_cast<std::size_t>(cli.get_int("scale", 10));
+    const auto ef = static_cast<std::size_t>(cli.get_int("edgefactor", 16));
+    g = family == "rmat" ? rmat(scale, ef, rng) : kronecker(scale, ef, rng);
   } else {
-    throw std::invalid_argument("--family must be gnp|geometric|grid|hypercube");
+    throw std::invalid_argument(
+        "--family must be gnp|geometric|grid|hypercube|rmat|kronecker");
   }
   if (cli.has("weighted")) {
     g = pts.empty() ? with_uniform_weights(g, 1.0, 10.0, rng)
