@@ -25,8 +25,6 @@
 // perf-multicore lane on the checked-in seconds + max_peak_rss_mb floors
 // (bench/ci_perf_floor.json, "e16" entries).
 
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -84,16 +82,6 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace {
 
 using namespace ftspan;
-
-/// Process peak RSS in MiB (Linux ru_maxrss is KiB).  Monotone over the
-/// process lifetime: with scales run in ascending order each row reports the
-/// high-water mark of everything up to and including itself, which is
-/// exactly the number a CI memory ceiling must bound.
-double peak_rss_mb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
 
 struct RunResult {
   std::string family;
@@ -165,7 +153,7 @@ RunResult run_config(const std::string& family, std::size_t scale,
   out.tree_extends = build.stats.tree_extends;
   out.arcs_traversed = build.stats.arcs_traversed;
   out.arena_bytes = build.stats.arena_bytes;
-  out.peak_rss_mb = peak_rss_mb();
+  out.peak_rss_mb = bench::peak_rss_mb();
   return out;
 }
 
@@ -234,12 +222,17 @@ int main(int argc, char** argv) {
   knobs.batch = cli.get_int("batch", 1) != 0;
   knobs.masked = cli.get_int("masked", 0) != 0;
   const auto json_path = cli.get("out", "BENCH_e16_scale.json");
+  const bench::ObsFlags obs = bench::obs_flags(cli);
 
   bench::banner("E16 scale",
                 "near-optimal O(f^{1-1/k} n^{1/k} m) build time survives "
                 "million-vertex inputs: layout and allocation behavior, not "
                 "instruction counts, set the slope",
                 seed);
+  // Obs enablement costs a handful of one-time allocations (per-thread state
+  // and rings), so the alloc_calls column is only comparable across runs
+  // with the same --trace/--metrics setting; CI floors gate untraced runs.
+  obs.start();
 
   std::vector<RunResult> results;
   for (const std::size_t scale : scales) {
@@ -273,5 +266,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << json_path << "\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -57,6 +57,8 @@ struct RunResult {
   std::uint64_t masked_tree_repairs = 0;
   std::uint64_t overlap_windows = 0;
   std::uint64_t stolen_chunks = 0;
+  std::uint64_t arcs_traversed = 0;
+  std::uint64_t arena_bytes = 0;
 };
 
 struct EngineKnobs {
@@ -111,6 +113,8 @@ RunResult run_config(const std::string& algo, std::size_t n, std::uint32_t f,
       out.masked_tree_repairs = build.stats.masked_tree_repairs;
       out.overlap_windows = build.stats.overlap_windows;
       out.stolen_chunks = build.stats.stolen_chunks;
+      out.arcs_traversed = build.stats.arcs_traversed;
+      out.arena_bytes = build.stats.arena_bytes;
     }
   }
   return out;
@@ -158,7 +162,9 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
         << ", \"masked_reuse_hits\": " << r.masked_reuse_hits
         << ", \"masked_tree_repairs\": " << r.masked_tree_repairs
         << ", \"overlap_windows\": " << r.overlap_windows
-        << ", \"stolen_chunks\": " << r.stolen_chunks << "}"
+        << ", \"stolen_chunks\": " << r.stolen_chunks
+        << ", \"arcs_traversed\": " << r.arcs_traversed
+        << ", \"arena_bytes\": " << r.arena_bytes << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "]\n";
@@ -180,6 +186,7 @@ int main(int argc, char** argv) {
   knobs.overlap = cli.get_int("overlap", 1) != 0;
   knobs.steal = cli.get_int("steal", 1) != 0;
   const auto json_path = cli.get("out", "BENCH_e4_runtime.json");
+  const bench::ObsFlags obs = bench::obs_flags(cli);
 
   bench::banner("E4 runtime",
                 "Theorem 9: modified greedy is polynomial while the exact "
@@ -191,12 +198,16 @@ int main(int argc, char** argv) {
       std::cout << "speculative engine: " << threads << " threads requested, "
                 << std::min(threads, hw) << " usable on this machine\n";
   if (thread_counts.size() > 1 || thread_counts.front() > 1) std::cout << "\n";
+  // Traced runs are for inspection, not for floors: the span recording costs
+  // wall-clock, so CI gates only untraced runs.
+  obs.start();
 
   std::vector<RunResult> results;
-  // Modified greedy: poly scaling in n and f.  The last config is the large
-  // one tracked for hot-path speedups across PRs.
+  // Modified greedy: poly scaling in n and f.  The f=0 row exercises the
+  // alpha-0 graft fast path (so traced runs carry "graft" events); the last
+  // config is the large one tracked for hot-path speedups across PRs.
   const struct { std::size_t n; std::uint32_t f, k; } modified[] = {
-      {128, 1, 2},  {256, 1, 2}, {512, 1, 2},  {128, 2, 2},
+      {128, 1, 2},  {256, 1, 2}, {512, 1, 2},  {512, 0, 2},  {128, 2, 2},
       {128, 4, 2},  {512, 2, 3}, {1024, 2, 2}, {2048, 2, 2},
   };
   // The measured threads=1 rows are the speedup baselines; they are emitted
@@ -231,7 +242,7 @@ int main(int argc, char** argv) {
   Table table({"algo", "n", "m(G)", "f", "k", "thr", "m(H)", "secs", "speedup",
                "oracle-calls", "sweeps", "spec-evals", "wasted-sweeps",
                "batched", "tree-hits", "masked-hits", "repairs", "ov-windows",
-               "stolen"});
+               "stolen", "arcs", "arena-B"});
   for (const auto& r : results)
     table.add_row({r.algo, Table::num(r.n), Table::num(r.m),
                    Table::num(static_cast<long long>(r.f)),
@@ -248,7 +259,9 @@ int main(int argc, char** argv) {
                    Table::num(static_cast<long long>(r.masked_reuse_hits)),
                    Table::num(static_cast<long long>(r.masked_tree_repairs)),
                    Table::num(static_cast<long long>(r.overlap_windows)),
-                   Table::num(static_cast<long long>(r.stolen_chunks))});
+                   Table::num(static_cast<long long>(r.stolen_chunks)),
+                   Table::num(static_cast<long long>(r.arcs_traversed)),
+                   Table::num(static_cast<long long>(r.arena_bytes))});
   table.print(std::cout);
 
   if (!write_json(json_path, results)) {
@@ -256,5 +269,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << json_path << "\n";
-  return 0;
+  return obs.finish() ? 0 : 1;
 }

@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ftspan {
+
+namespace {
+
+const obs::Counter c_sweep_tree("sweep.tree_served");
+const obs::Counter c_sweep_masked("sweep.masked_repair_served");
+const obs::Counter c_sweep_dedicated("sweep.dedicated");
+const obs::Counter c_tree_sessions("tree.sessions");
+const obs::Counter c_tree_grafts("tree.grafts");
+const obs::Counter c_tree_repairs("tree.repairs");
+const obs::Counter c_tree_rollbacks("tree.rollbacks");
+const obs::Gauge g_repair_wave("repair.wave.max");
+const obs::Gauge g_graft_wave("graft.wave.max");
+
+}  // namespace
 
 void LbcSolver::reserve(std::size_t n, std::size_t m) {
   bfs_.reserve(n);
@@ -32,8 +47,11 @@ void LbcSolver::begin_batch(const Graph& g, VertexId u,
   batch_t_ = t;
   batch_m_ = g.m();
   batch_targets_.assign(targets.begin(), targets.end());
+  const obs::ScopedSpan span("tree", "begin", "source", u, "targets",
+                             targets.size());
   tree_bfs_.tree_begin(g, u, batch_targets_, FaultView{}, t);
   ++trees_built_;
+  c_tree_sessions.add();
 }
 
 LbcResult LbcSolver::decide_batched(std::size_t index, std::uint32_t alpha,
@@ -51,8 +69,12 @@ void LbcSolver::extend_batch_after_accept(VertexId v, EdgeId via_edge) {
   FTSPAN_REQUIRE(batch_g_->m() == batch_m_ + 1,
                  "extend_batch_after_accept expects exactly one appended edge");
   batch_m_ = batch_g_->m();
-  tree_bfs_.tree_insert_source_arc(v, via_edge);
+  obs::ScopedSpan span("graft", "insert_source_arc", "target", v);
+  const std::size_t wave = tree_bfs_.tree_insert_source_arc(v, via_edge);
+  span.end_args("wave", wave);
   ++tree_extends_;
+  c_tree_grafts.add();
+  g_graft_wave.update(wave);
 }
 
 void LbcSolver::decide_batch(const Graph& g, VertexId u,
@@ -102,7 +124,9 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
       // Sweep 0 of a batched decision: resume the shared terminal tree just
       // far enough to settle v; the per-target expanded_prefix is the exact
       // read set a dedicated search would have produced.
+      const obs::ScopedSpan span("sweep", "tree_served", "target", v);
       ++batched_sweeps_;
+      c_sweep_tree.add();
       const BfsTreeAnswer answer = tree_bfs_.tree_next(v);
       found = answer.dist <= t;
       if (trace != nullptr)
@@ -113,7 +137,10 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
     } else if (masked_tree && i > 0) {
       // Masked sweep served from the repaired tree: distance, lex-min path,
       // and read set are bit-identical to the dedicated BFS below.
+      const obs::ScopedSpan span("sweep", "masked_repair_served", "target", v,
+                                 "sweep", i);
       ++masked_sweeps_;
+      c_sweep_masked.add();
       const std::uint32_t dist = tree_bfs_.tree_masked_dist(v);
       found = dist <= t;
       if (trace != nullptr) mark_masked_trace(v, dist, t);
@@ -121,8 +148,19 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
     } else {
       // Sweep 0 runs before anything is cut; handing the BFS an empty view
       // lets it dispatch to the no-mask specialization (≈70% of all sweeps).
+      const obs::ScopedSpan span("sweep", "dedicated", "target", v, "sweep",
+                                 i);
+      c_sweep_dedicated.add();
       const FaultView faults = i == 0 ? FaultView{} : cut_view;
+      const ArcIndex before = bfs_.arcs_scanned();
       found = bfs_.shortest_path_arcs(g, u, v, path_, faults, t);
+      if (i > 0) {
+        // A dedicated run under a non-empty cut is exactly the sweep the
+        // masked-tree repair path would have served: meter its arc cost so
+        // the repair-vs-dedicated ratio can be formed across A/B runs.
+        ++dedicated_masked_sweeps_;
+        dedicated_masked_arcs_ += bfs_.arcs_scanned() - before;
+      }
       if (trace != nullptr)
         for (const VertexId x : bfs_.last_expanded()) trace_mark_.set(x);
     }
@@ -136,8 +174,13 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
       for (std::size_t j = 1; j + 1 < path_.size(); ++j)
         vertex_cut_.set(path_[j].to);
       if (masked_tree && i < alpha) {  // the last sweep's cut is never read
-        tree_bfs_.tree_repair_cut(vertex_cut_.touched().subspan(before),
-                                  std::span<const EdgeId>{}, cut_view);
+        obs::ScopedSpan span("repair", "cut", "sweep", i);
+        const std::size_t wave =
+            tree_bfs_.tree_repair_cut(vertex_cut_.touched().subspan(before),
+                                      std::span<const EdgeId>{}, cut_view);
+        span.end_args("wave", wave);
+        c_tree_repairs.add();
+        g_repair_wave.update(wave);
         repaired = true;
       }
     } else {
@@ -145,13 +188,22 @@ LbcResult LbcSolver::run_decision(const Graph& g, VertexId u, VertexId v,
       const std::size_t before = edge_cut_.touched().size();
       for (std::size_t j = 1; j < path_.size(); ++j) edge_cut_.set(path_[j].edge);
       if (masked_tree && i < alpha) {
-        tree_bfs_.tree_repair_cut(std::span<const VertexId>{},
-                                  edge_cut_.touched().subspan(before), cut_view);
+        obs::ScopedSpan span("repair", "cut", "sweep", i);
+        const std::size_t wave = tree_bfs_.tree_repair_cut(
+            std::span<const VertexId>{}, edge_cut_.touched().subspan(before),
+            cut_view);
+        span.end_args("wave", wave);
+        c_tree_repairs.add();
+        g_repair_wave.update(wave);
         repaired = true;
       }
     }
   }
-  if (repaired) tree_bfs_.tree_rollback();
+  if (repaired) {
+    obs::instant("repair", "rollback");
+    c_tree_rollbacks.add();
+    tree_bfs_.tree_rollback();
+  }
 
   const auto& touched = model_ == FaultModel::vertex ? vertex_cut_.touched()
                                                      : edge_cut_.touched();

@@ -161,6 +161,34 @@ class LbcSolver {
     return tree_bfs_.tree_repairs();
   }
 
+  // --- repair-cost vs dedicated-cost meters (adaptive-masking baseline) ---
+  //
+  // The two ways to serve a masked sweep (>= 1) of a batched decision are
+  // in-place tree repair (masked_tree on) and a dedicated masked BFS
+  // (masked_tree off).  These meters price both in the same unit —
+  // adjacency rows scanned — so a run with each setting yields the
+  // per-sweep cost ratio the ROADMAP's adaptive masked/dedicated heuristic
+  // needs (bench_e15_batched's masked_repair_cost_ratio column).
+
+  /// Arcs scanned by the masked-tree repair machinery (Even-Shiloach waves
+  /// + lazy lex-min tournaments), cumulative.  The in-place price of the
+  /// masked_reuse_hits() sweeps; NOT included in arcs_scanned().
+  [[nodiscard]] ArcIndex repair_cost_arcs() const noexcept {
+    return tree_bfs_.repair_arcs();
+  }
+
+  /// Arcs scanned by dedicated masked BFS sweeps (i >= 1 decided without
+  /// the repaired tree), cumulative — the price masked sweeps pay when
+  /// masked_tree is off.  Subset of arcs_scanned().
+  [[nodiscard]] ArcIndex dedicated_masked_arcs() const noexcept {
+    return dedicated_masked_arcs_;
+  }
+
+  /// Number of sweeps metered by dedicated_masked_arcs().
+  [[nodiscard]] std::uint64_t dedicated_masked_sweeps() const noexcept {
+    return dedicated_masked_sweeps_;
+  }
+
   /// Adjacency arcs scanned by every search this solver ran (both runners,
   /// cumulative) — the measured work term of the O(f^{1-1/k} n^{1/k} m)
   /// bound, aggregated into SpannerBuildStats::arcs_traversed.
@@ -196,6 +224,8 @@ class LbcSolver {
   std::uint64_t batched_sweeps_ = 0;
   std::uint64_t masked_sweeps_ = 0;
   std::uint64_t tree_extends_ = 0;
+  std::uint64_t dedicated_masked_sweeps_ = 0;
+  ArcIndex dedicated_masked_arcs_ = 0;
 
   // Open batch (valid until the next begin_batch / decide on this solver).
   const Graph* batch_g_ = nullptr;

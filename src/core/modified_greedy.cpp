@@ -137,6 +137,9 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   build.stats.tree_extends = lbc.tree_extends();
   build.stats.arcs_traversed = lbc.arcs_scanned();
   build.stats.arena_bytes = lbc.arena_bytes();
+  build.stats.repair_cost_arcs = lbc.repair_cost_arcs();
+  build.stats.dedicated_masked_arcs = lbc.dedicated_masked_arcs();
+  build.stats.dedicated_masked_sweeps = lbc.dedicated_masked_sweeps();
   build.stats.seconds = timer.seconds();
   return build;
 }

@@ -70,6 +70,19 @@ struct SpannerBuildStats {
   /// Bytes held by the search arenas at build end (slab-quantized runner
   /// state, cut masks, path buffers; summed over all workers).
   std::uint64_t arena_bytes = 0;
+  /// Arcs scanned by the masked-tree repair machinery (Even-Shiloach waves
+  /// plus lazy lex-min tournaments) — the in-place price of the
+  /// masked_reuse_hits sweeps.  Not part of arcs_traversed.
+  std::uint64_t repair_cost_arcs = 0;
+  /// Arcs scanned by dedicated masked BFS sweeps (sweeps >= 1 decided
+  /// without the repaired tree) — the price the same sweeps pay when
+  /// masked_tree is off.  repair_cost_arcs / masked_reuse_hits vs
+  /// dedicated_masked_arcs / dedicated_masked_sweeps across an A/B pair is
+  /// the adaptive-masking heuristic's per-sweep cost ratio
+  /// (bench_e15_batched's masked_repair_cost_ratio column).
+  std::uint64_t dedicated_masked_arcs = 0;
+  /// Number of sweeps metered by dedicated_masked_arcs.
+  std::uint64_t dedicated_masked_sweeps = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

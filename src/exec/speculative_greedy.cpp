@@ -8,10 +8,20 @@
 #include "core/lbc.h"
 #include "exec/search_arena.h"
 #include "exec/thread_pool.h"
+#include "obs/obs.h"
 
 namespace ftspan::exec {
 
 namespace {
+
+const obs::Counter c_win_launched("window.launched");
+const obs::Counter c_win_slots_evaluated("window.slots.evaluated");
+const obs::Counter c_win_slots_committed("window.slots.committed");
+const obs::Counter c_win_slots_wasted("window.slots.wasted");
+const obs::Counter c_win_aborts("window.aborts");
+const obs::Counter c_win_cancelled("window.cancelled");
+const obs::Counter c_steal_chunks("steal.chunks.executed");
+const obs::Gauge g_win_size("window.size.max");
 
 /// One window slot: the speculative decision plus its read set.  `evaluated`
 /// distinguishes slots a cancelled round never ran from real (wasted) work.
@@ -27,6 +37,7 @@ struct EvalSlot {
 /// (decide_batched is bit-identical regardless of batch composition).
 struct Chunk {
   std::uint32_t lo, hi;
+  bool stolen;  ///< split off a dominant batch for work stealing
 };
 
 /// Floor on a stolen chunk's size: below this, rebuilding the terminal tree
@@ -118,9 +129,12 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   // chunks (terminal batches, with dominant batches split for stealing), and
   // starts the asynchronous evaluate round.
   const auto launch = [&](Window& win, std::size_t p, bool overlapped) {
+    const obs::ScopedSpan span("window", "launch", "pos", p);
     catch_up();
     win.pos = p;
     win.w = std::min(window, order.size() - p);
+    c_win_launched.add();
+    g_win_size.update(win.w);
     win.epoch = applied;
     if (win.slots.size() < win.w) win.slots.resize(win.w);
     for (std::size_t i = 0; i < win.w; ++i) win.slots[i].evaluated = false;
@@ -147,18 +161,25 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
         const std::size_t even = (len + pieces - 1) / pieces;
         for (std::size_t q = i; q < j; q += even)
           win.chunks.push_back({static_cast<std::uint32_t>(q),
-                                static_cast<std::uint32_t>(std::min(q + even, j))});
+                                static_cast<std::uint32_t>(std::min(q + even, j)),
+                                /*stolen=*/q > i});
         build.stats.stolen_chunks += pieces - 1;
       } else {
-        win.chunks.push_back(
-            {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+        win.chunks.push_back({static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j), /*stolen=*/false});
       }
       i = j;
     }
 
     win.task = [&win, &g, &arenas, &snapshot, order, p, t,
                 f = params.f](unsigned worker, std::size_t c) {
-      const auto [lo, hi] = win.chunks[c];
+      const auto [lo, hi, stolen] = win.chunks[c];
+      const obs::ScopedSpan span("window", "chunk", "slot", p + lo, "len",
+                                 hi - lo);
+      if (stolen) {
+        obs::instant("steal", "chunk", "slot", p + lo, "len", hi - lo);
+        c_steal_chunks.add();
+      }
       SearchArena& arena = arenas[worker];
       if (hi - lo == 1) {
         EvalSlot& slot = win.slots[lo];
@@ -190,11 +211,17 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   // already-evaluated slots are accounted as waste.
   const auto discard = [&](Window& win) {
     win.round.cancel();
+    std::uint64_t wasted = 0;
     for (std::size_t i = 0; i < win.w; ++i) {
       if (!win.slots[i].evaluated) continue;
+      ++wasted;
       ++build.stats.spec_evaluated;
       build.stats.spec_wasted_sweeps += win.slots[i].result.sweeps;
     }
+    obs::instant("window", "cancel", "pos", win.pos, "wasted_slots", wasted);
+    c_win_cancelled.add();
+    c_win_slots_evaluated.add(wasted);
+    c_win_slots_wasted.add(wasted);
   };
 
   Window windows[2];
@@ -219,20 +246,33 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
     // Commit phase, in scan order on this thread.  A slot commits as long as
     // no pick since its snapshot epoch intersects its read set; the first
     // failure aborts the window and the scan re-speculates from there.
+    c_win_slots_evaluated.add(win.w);
     std::size_t committed = 0;
-    for (; committed < win.w; ++committed) {
-      EvalSlot& slot = win.slots[committed];
-      if (invalidated(slot, win.epoch)) break;
-      ++build.stats.oracle_calls;
-      build.stats.search_sweeps += slot.result.sweeps;
-      if (slot.result.yes) {
-        const EdgeId id = order[win.pos + committed];
-        const Edge& e = g.edge(id);
-        build.spanner.add_edge(e.u, e.v, e.w);
-        build.picked.push_back(id);
-        if (config.record_certificates)
-          build.certificates.push_back(std::move(slot.result.cut));
+    {
+      obs::ScopedSpan commit_span("window", "commit", "pos", win.pos, "size",
+                                  win.w);
+      for (; committed < win.w; ++committed) {
+        EvalSlot& slot = win.slots[committed];
+        if (invalidated(slot, win.epoch)) break;
+        ++build.stats.oracle_calls;
+        build.stats.search_sweeps += slot.result.sweeps;
+        if (slot.result.yes) {
+          const EdgeId id = order[win.pos + committed];
+          const Edge& e = g.edge(id);
+          build.spanner.add_edge(e.u, e.v, e.w);
+          build.picked.push_back(id);
+          if (config.record_certificates)
+            build.certificates.push_back(std::move(slot.result.cut));
+        }
       }
+      commit_span.end_args("committed", committed);
+    }
+    c_win_slots_committed.add(committed);
+    if (committed < win.w) {
+      obs::instant("window", "abort", "pos", win.pos + committed,
+                   "wasted_slots", win.w - committed);
+      c_win_aborts.add();
+      c_win_slots_wasted.add(win.w - committed);
     }
     for (std::size_t i = committed; i < win.w; ++i)
       build.stats.spec_wasted_sweeps += win.slots[i].result.sweeps;
@@ -261,6 +301,9 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
     build.stats.tree_extends += arena.lbc.tree_extends();
     build.stats.arcs_traversed += arena.lbc.arcs_scanned();
     build.stats.arena_bytes += arena.lbc.arena_bytes();
+    build.stats.repair_cost_arcs += arena.lbc.repair_cost_arcs();
+    build.stats.dedicated_masked_arcs += arena.lbc.dedicated_masked_arcs();
+    build.stats.dedicated_masked_sweeps += arena.lbc.dedicated_masked_sweeps();
   }
   return build;
 }

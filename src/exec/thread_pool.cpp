@@ -2,9 +2,14 @@
 
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace ftspan::exec {
 
 namespace {
+
+const obs::Counter c_pool_rounds("pool.rounds.dispatched");
+const obs::Counter c_pool_tasks("pool.tasks.executed");
 
 /// Pool this thread is currently executing a task of (nullptr outside task
 /// bodies) and its worker index in that round.  Lets run()/submit() detect
@@ -69,9 +74,12 @@ void ThreadPool::ensure_workers(std::uint32_t threads) {
 
 void ThreadPool::work(unsigned worker, const Task& fn, std::size_t n) {
   const ActivePoolGuard guard(this, worker);
+  obs::ScopedSpan span("pool", "work");
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) return;
+    if (i >= n) break;
+    ++executed;
     try {
       fn(worker, i);
     } catch (...) {
@@ -79,9 +87,12 @@ void ThreadPool::work(unsigned worker, const Task& fn, std::size_t n) {
       if (!error_) error_ = std::current_exception();
     }
   }
+  span.end_args("tasks", executed);
+  c_pool_tasks.add(executed);
 }
 
 void ThreadPool::worker_loop(unsigned worker, std::uint64_t seen) {
+  obs::label_thread("worker", worker);
   for (;;) {
     const Task* job = nullptr;
     std::size_t n = 0;
@@ -148,6 +159,7 @@ ThreadPool::Round ThreadPool::submit(std::size_t n, const Task& fn,
     ++generation_;            // joins a round iff busy_ counted it
   }
   start_cv_.notify_all();
+  c_pool_rounds.add();
   return Round(this, &fn, n, /*dispatched=*/true, std::move(round));
 }
 

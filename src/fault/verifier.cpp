@@ -7,6 +7,7 @@
 #include "fault/attack.h"
 #include "graph/fault_mask.h"
 #include "graph/search.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace ftspan {
@@ -14,6 +15,8 @@ namespace ftspan {
 namespace {
 
 constexpr double kTolerance = 1e-9;
+
+const obs::Counter c_verify_trials("verify.trials");
 
 /// Shared machinery: evaluates one fault set against all surviving G-edges,
 /// folding results into `report`.
@@ -26,6 +29,8 @@ class PairChecker {
 
   void check(const FaultSet& faults, StretchReport& report) {
     FTSPAN_REQUIRE(faults.model == model_, "fault model mismatch");
+    obs::ScopedSpan span("verify", "trial", "faults", faults.ids.size());
+    c_verify_trials.add();
     ++report.fault_sets_checked;
 
     // Build masks.  Edge faults carry g-edge ids; h's copy of the same edge

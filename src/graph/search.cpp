@@ -292,7 +292,7 @@ BfsTreeAnswer BfsRunner::tree_next(VertexId v) {
   return tree_next_impl<false, false>(v);
 }
 
-void BfsRunner::tree_insert_source_arc(VertexId v, EdgeId via_edge) {
+std::size_t BfsRunner::tree_insert_source_arc(VertexId v, EdgeId via_edge) {
   FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
                  "no open terminal-tree session (another search ended it?)");
   FTSPAN_REQUIRE(tree_head_ == queue_.size(),
@@ -303,7 +303,7 @@ void BfsRunner::tree_insert_source_arc(VertexId v, EdgeId via_edge) {
   const Graph& g = *tree_g_;
   const FaultView& faults = tree_faults_;
   FTSPAN_REQUIRE(v < g.n(), "tree graft target out of range");
-  if (queue_.empty() || !faults.vertex_alive(v)) return;  // dead source/target
+  if (queue_.empty() || !faults.vertex_alive(v)) return 0;  // dead source/target
   FTSPAN_REQUIRE(stamp_[v] != epoch_,
                  "tree graft target was already reached (not an accept?)");
   const std::uint32_t max_hops = tree_max_hops_;
@@ -353,6 +353,7 @@ void BfsRunner::tree_insert_source_arc(VertexId v, EdgeId via_edge) {
       iqueue_.push_back(arc.to);
     }
   }
+  return iqueue_.size();
 }
 
 // ------------------------------------------- masked-tree incremental repair
@@ -502,6 +503,7 @@ void BfsRunner::repair_resolve(VertexId w) {
   // Tournament: the dedicated BFS would have discovered w from the lex-min
   // alive neighbor one level up, over that neighbor's first alive arc to w.
   VertexId best = kInvalidVertex;
+  repair_arcs_ += g.degree(w);
   for (const auto& arc : g.neighbors(w)) {
     if (check_edges && !repair_cut_.edge_alive(arc.edge)) continue;
     const VertexId x = arc.to;
@@ -514,6 +516,7 @@ void BfsRunner::repair_resolve(VertexId w) {
                 "repair_resolve: no support one level up (distance repair "
                 "out of sync)");
   const auto row = g.neighbors(best);
+  repair_arcs_ += row.size();
   std::size_t ri = 0;
   EdgeId via = kInvalidEdge;
   for (; ri < row.size(); ++ri) {
@@ -535,13 +538,14 @@ void BfsRunner::repair_resolve(VertexId w) {
   fstamp_[w] = fserial_;
 }
 
-void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
-                                std::span<const EdgeId> edges,
-                                const FaultView& cut) {
+std::size_t BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
+                                       std::span<const EdgeId> edges,
+                                       const FaultView& cut) {
   FTSPAN_REQUIRE(tree_g_ != nullptr && tree_epoch_ == epoch_,
                  "no open terminal-tree session (another search ended it?)");
   if (!repair_ready_) repair_init();
   ++repair_count_;
+  std::size_t wave = 0;  // distance changes applied by this increment
   repair_dirty_ = true;
   repair_cut_ = cut;  // retained for lazy resolution until the next rollback
   if (++rqueue_stamp_ == 0) {  // wrapped: invalidate all dedup stamps
@@ -563,6 +567,8 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
     if (rdist_[c] == kUnreachableHops) continue;  // already unreachable
     const std::uint32_t dc = rdist_[c];
     repair_set(kRDist, c, kUnreachableHops);  // c leaves the graph outright
+    ++wave;
+    repair_arcs_ += g.degree(c);
     for (const auto& arc : g.neighbors(c))
       if (stamp_[arc.to] == epoch_ && rdist_[arc.to] == dc + 1)
         repair_enqueue(arc.to);
@@ -602,6 +608,7 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
       rqueued_[w] = 0;  // popped: later threats must re-enqueue
       if (rdist_[w] != d) continue;  // stale entry
       bool supported = false;
+      repair_arcs_ += g.degree(w);
       for (const auto& arc : g.neighbors(w)) {
         if (check_edges && !cut.edge_alive(arc.edge)) continue;
         if (stamp_[arc.to] == epoch_ && rdist_[arc.to] == d - 1) {
@@ -612,6 +619,8 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
       if (supported) continue;
       const bool off = d + 1 > tree_max_hops_;
       repair_set(kRDist, w, off ? kUnreachableHops : d + 1);
+      ++wave;
+      repair_arcs_ += g.degree(w);
       for (const auto& arc : g.neighbors(w))
         if (stamp_[arc.to] == epoch_ && rdist_[arc.to] == d + 1)
           repair_enqueue(arc.to);
@@ -619,6 +628,7 @@ void BfsRunner::tree_repair_cut(std::span<const VertexId> vertices,
     }
     bucket.clear();
   }
+  return wave;
 }
 
 std::uint32_t BfsRunner::tree_masked_dist(VertexId v) const {

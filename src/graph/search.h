@@ -192,7 +192,9 @@ class BfsRunner {
   ///
   /// Requires: an open session whose expansion is exhausted (the accepting
   /// unreachable answer guarantees this), and v not yet reached by it.
-  void tree_insert_source_arc(VertexId v, EdgeId via_edge);
+  /// Returns the graft wave size: vertices whose distance the improvement
+  /// BFS touched (0 when the source or target is failed).
+  std::size_t tree_insert_source_arc(VertexId v, EdgeId via_edge);
 
   // --- incremental repair under a growing cut (masked-tree LBC) -----------
   //
@@ -234,9 +236,11 @@ class BfsRunner {
   /// the newly failed edge ids (edge model), and `cut` must view the FULL
   /// accumulated cut (used for arc-alive checks while re-attaching).
   /// Requires a session with finite max_hops; completes the tree on first
-  /// use.  Repairs accumulate until tree_rollback().
-  void tree_repair_cut(std::span<const VertexId> vertices,
-                       std::span<const EdgeId> edges, const FaultView& cut);
+  /// use.  Repairs accumulate until tree_rollback().  Returns the repair
+  /// wave size: vertices whose distance this increment changed.
+  std::size_t tree_repair_cut(std::span<const VertexId> vertices,
+                              std::span<const EdgeId> edges,
+                              const FaultView& cut);
 
   /// Masked hop distance of `v` in the repaired tree: bit-identical to what
   /// a dedicated BFS under the accumulated cut would report (cut and
@@ -263,6 +267,14 @@ class BfsRunner {
   [[nodiscard]] std::uint64_t tree_repairs() const noexcept {
     return repair_count_;
   }
+
+  /// Adjacency arcs scanned by the masked-tree repair machinery, cumulative:
+  /// seed/support/sink scans of tree_repair_cut plus lazy repair_resolve
+  /// tournaments, at the same row granularity as arcs_scanned() (which does
+  /// NOT include these — repair work is the *alternative* to dedicated
+  /// masked sweeps, so it is metered separately; the ratio of the two is the
+  /// adaptive-masking heuristic's decision variable).
+  [[nodiscard]] ArcIndex repair_arcs() const noexcept { return repair_arcs_; }
 
 
   /// Pre-sizes the per-vertex state — including the terminal-tree session
@@ -320,6 +332,7 @@ class BfsRunner {
   std::size_t expanded_count_ = 0;
   std::uint32_t epoch_ = 0;
   ArcIndex arcs_scanned_ = 0;
+  ArcIndex repair_arcs_ = 0;
 
   // Terminal-tree session state (valid while tree_epoch_ == epoch_).
   const Graph* tree_g_ = nullptr;

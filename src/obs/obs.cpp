@@ -1,0 +1,379 @@
+#include "obs/obs.h"
+
+#include <array>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace ftspan::obs {
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_flags{0};
+
+namespace {
+
+/// Hard cap on registered counter/gauge names.  Per-thread shards are
+/// fixed-size arrays so an increment never allocates; the library registers
+/// a few dozen names, the cap is pure headroom.
+constexpr std::uint32_t kMaxSlots = 256;
+
+/// One recorded span event.  Strings are static-storage literals by API
+/// contract, so events are POD and the ring never owns memory per event.
+struct Event {
+  std::uint64_t ts_ns;
+  const char* cat;
+  const char* name;
+  const char* k0;
+  std::uint64_t v0;
+  const char* k1;
+  std::uint64_t v1;
+  char phase;  // 'B', 'E', 'i'
+};
+
+/// Label a thread declared before it had any recording state (label_thread
+/// must not allocate, so the label waits in TLS until the first event).
+struct PendingLabel {
+  const char* role = nullptr;
+  unsigned index = 0;
+};
+
+/// All per-thread recording state.  Created lazily on the thread's first
+/// recorded event (only reachable when something is enabled), registered
+/// process-wide, and never freed: worker threads cache the pointer in TLS
+/// for the life of the process.
+struct ThreadState {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> counters{};
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> gauges{};
+  std::vector<Event> ring;
+  std::size_t ring_mask = 0;
+  /// Monotonic write index; slot = head & ring_mask.  Owner-thread stores
+  /// with release order so an exporter's acquire load sees complete events.
+  std::atomic<std::uint64_t> head{0};
+  const char* label_role = nullptr;
+  unsigned label_index = 0;
+  std::uint32_t tid = 0;  ///< stable per-thread track id (registration order)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<const char*> counter_names;
+  std::vector<const char*> gauge_names;
+  std::vector<std::unique_ptr<ThreadState>> states;
+  std::size_t ring_capacity = std::size_t{1} << 15;
+  std::atomic<std::uint64_t> base_ns{0};  ///< trace epoch (steady clock)
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives late thread exits
+  return *r;
+}
+
+thread_local ThreadState* tl_state = nullptr;
+thread_local PendingLabel tl_label;
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Slow path: first event on this thread while enabled.  Allocates the ring
+/// and registers the state; every later event is lock-free.
+ThreadState& make_state() {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  auto state = std::make_unique<ThreadState>();
+  state->ring.resize(round_up_pow2(std::max<std::size_t>(reg.ring_capacity, 2)));
+  state->ring_mask = state->ring.size() - 1;
+  state->label_role = tl_label.role;
+  state->label_index = tl_label.index;
+  state->tid = static_cast<std::uint32_t>(reg.states.size()) + 1;
+  tl_state = state.get();
+  reg.states.push_back(std::move(state));
+  return *tl_state;
+}
+
+ThreadState& state() {
+  ThreadState* s = tl_state;
+  return s != nullptr ? *s : make_state();
+}
+
+std::uint32_t register_name(std::vector<const char*>& names, const char* name) {
+  for (std::uint32_t i = 0; i < names.size(); ++i)
+    if (std::strcmp(names[i], name) == 0) return i;
+  assert(names.size() < kMaxSlots && "obs: too many registered metrics");
+  names.push_back(name);
+  return static_cast<std::uint32_t>(names.size()) - 1;
+}
+
+}  // namespace
+
+std::uint32_t register_counter(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  return register_name(reg.counter_names, name);
+}
+
+std::uint32_t register_gauge(const char* name) {
+  Registry& reg = registry();
+  std::lock_guard lk(reg.mu);
+  return register_name(reg.gauge_names, name);
+}
+
+void counter_add(std::uint32_t slot, std::uint64_t delta) noexcept {
+  ThreadState& s = state();
+  s.counters[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void gauge_max(std::uint32_t slot, std::uint64_t value) noexcept {
+  // The shard is thread-private, so a plain read-compare-store suffices
+  // (the atomic type only makes the exporter's cross-thread read defined).
+  ThreadState& s = state();
+  if (value > s.gauges[slot].load(std::memory_order_relaxed))
+    s.gauges[slot].store(value, std::memory_order_relaxed);
+}
+
+void span_event(char phase, const char* cat, const char* name, const char* k0,
+                std::uint64_t v0, const char* k1, std::uint64_t v1) noexcept {
+  ThreadState& s = state();
+  const std::uint64_t h = s.head.load(std::memory_order_relaxed);
+  Event& e = s.ring[h & s.ring_mask];
+  e.ts_ns = steady_ns() -
+            registry().base_ns.load(std::memory_order_relaxed);
+  e.cat = cat;
+  e.name = name;
+  e.k0 = k0;
+  e.v0 = v0;
+  e.k1 = k1;
+  e.v1 = v1;
+  e.phase = phase;
+  s.head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+using detail::registry;
+using detail::ThreadState;
+
+void label_thread(const char* role, unsigned index) noexcept {
+  detail::tl_label.role = role;
+  detail::tl_label.index = index;
+  if (detail::tl_state != nullptr) {
+    detail::tl_state->label_role = role;
+    detail::tl_state->label_index = index;
+  }
+}
+
+void metrics_start() {
+  detail::g_flags.fetch_or(detail::kMetricsBit, std::memory_order_relaxed);
+}
+
+void metrics_stop() {
+  detail::g_flags.fetch_and(~detail::kMetricsBit, std::memory_order_relaxed);
+}
+
+void trace_start(TraceOptions options) {
+  // The enabling thread is almost always the process's driver; give its
+  // track a name unless the caller already labeled it.
+  if (detail::tl_label.role == nullptr) label_thread("main", 0);
+  auto& reg = registry();
+  {
+    std::lock_guard lk(reg.mu);
+    reg.ring_capacity = options.ring_capacity;
+  }
+  std::uint64_t expected = 0;
+  reg.base_ns.compare_exchange_strong(expected, detail::steady_ns(),
+                                      std::memory_order_relaxed);
+  detail::g_flags.fetch_or(detail::kTraceBit | detail::kMetricsBit,
+                           std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  detail::g_flags.fetch_and(~detail::kTraceBit, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Minimal JSON string escaping — names are literals under our control, but
+/// a stray quote or backslash must not produce an unloadable trace.
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+void write_args(std::ostream& os, const detail::Event& e) {
+  if (e.k0 == nullptr && e.k1 == nullptr) return;
+  os << ",\"args\":{";
+  bool first = true;
+  if (e.k0 != nullptr) {
+    os << '"';
+    write_escaped(os, e.k0);
+    os << "\":" << e.v0;
+    first = false;
+  }
+  if (e.k1 != nullptr) {
+    if (!first) os << ',';
+    os << '"';
+    write_escaped(os, e.k1);
+    os << "\":" << e.v1;
+  }
+  os << '}';
+}
+
+void write_ts(std::ostream& os, std::uint64_t ts_ns) {
+  // Microseconds with nanosecond precision kept as a decimal fraction.
+  os << ts_ns / 1000 << '.' << static_cast<char>('0' + ts_ns % 1000 / 100)
+     << static_cast<char>('0' + ts_ns % 100 / 10)
+     << static_cast<char>('0' + ts_ns % 10);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  auto& reg = registry();
+  std::lock_guard lk(reg.mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+  };
+  for (const auto& state : reg.states) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":"
+       << state->tid << ",\"args\":{\"name\":\"";
+    if (state->label_role != nullptr) {
+      write_escaped(os, state->label_role);
+      os << ' ' << state->label_index;
+    } else {
+      os << "thread " << state->tid;
+    }
+    os << "\"}}";
+  }
+  for (const auto& state : reg.states) {
+    const std::uint64_t head = state->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = state->ring.size();
+    const std::uint64_t lo = head > cap ? head - cap : 0;
+    // Matched-pair fix-up over the ring's suffix of the stream: an 'E' at
+    // depth 0 lost its 'B' to wraparound and is skipped; 'B's still open at
+    // the end are closed at the last seen timestamp, so every emitted begin
+    // has exactly one end and importers never misnest the track.
+    std::uint64_t depth = 0;
+    std::uint64_t last_ts = 0;
+    for (std::uint64_t i = lo; i < head; ++i) {
+      const detail::Event& e = state->ring[i & state->ring_mask];
+      last_ts = e.ts_ns;
+      if (e.phase == 'E') {
+        if (depth == 0) continue;
+        --depth;
+        sep();
+        os << "{\"ph\":\"E\",\"pid\":1,\"tid\":" << state->tid << ",\"ts\":";
+        write_ts(os, e.ts_ns);
+        write_args(os, e);
+        os << '}';
+        continue;
+      }
+      if (e.phase == 'B') ++depth;
+      sep();
+      os << "{\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << state->tid
+         << ",\"ts\":";
+      write_ts(os, e.ts_ns);
+      os << ",\"cat\":\"";
+      write_escaped(os, e.cat);
+      os << "\",\"name\":\"";
+      write_escaped(os, e.name);
+      os << '"';
+      if (e.phase == 'i') os << ",\"s\":\"t\"";
+      write_args(os, e);
+      os << '}';
+    }
+    for (; depth > 0; --depth) {
+      sep();
+      os << "{\"ph\":\"E\",\"pid\":1,\"tid\":" << state->tid << ",\"ts\":";
+      write_ts(os, last_ts);
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+MetricsSnapshot metrics_snapshot() {
+  auto& reg = registry();
+  std::lock_guard lk(reg.mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(reg.counter_names.size());
+  for (std::uint32_t i = 0; i < reg.counter_names.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& state : reg.states)
+      total += state->counters[i].load(std::memory_order_relaxed);
+    snap.counters.emplace_back(reg.counter_names[i], total);
+  }
+  snap.gauges.reserve(reg.gauge_names.size());
+  for (std::uint32_t i = 0; i < reg.gauge_names.size(); ++i) {
+    std::uint64_t peak = 0;
+    for (const auto& state : reg.states)
+      peak = std::max(peak, state->gauges[i].load(std::memory_order_relaxed));
+    snap.gauges.emplace_back(reg.gauge_names[i], peak);
+  }
+  for (const auto& state : reg.states) {
+    const std::uint64_t head = state->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = state->ring.size();
+    if (head > cap) snap.dropped_events += head - cap;
+  }
+  return snap;
+}
+
+void write_metrics_json(std::ostream& os) {
+  const MetricsSnapshot snap = metrics_snapshot();
+  os << '{';
+  bool first = true;
+  const auto emit = [&](const std::string& name, std::uint64_t value) {
+    if (!first) os << ", ";
+    first = false;
+    os << '"';
+    os << name;  // registered names are identifier-like literals
+    os << "\": " << value;
+  };
+  for (const auto& [name, value] : snap.counters) emit(name, value);
+  for (const auto& [name, value] : snap.gauges) emit(name, value);
+  emit("obs.dropped_events", snap.dropped_events);
+  os << "}\n";
+}
+
+std::uint64_t dropped_events() { return metrics_snapshot().dropped_events; }
+
+void reset_for_testing() {
+  detail::g_flags.store(0, std::memory_order_relaxed);
+  auto& reg = registry();
+  std::lock_guard lk(reg.mu);
+  reg.base_ns.store(0, std::memory_order_relaxed);
+  for (const auto& state : reg.states) {
+    for (auto& c : state->counters) c.store(0, std::memory_order_relaxed);
+    for (auto& g : state->gauges) g.store(0, std::memory_order_relaxed);
+    state->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ftspan::obs

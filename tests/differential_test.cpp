@@ -16,8 +16,10 @@
 
 #include "core/lbc.h"
 #include "core/modified_greedy.h"
+#include "fault/verifier.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace ftspan {
@@ -202,6 +204,50 @@ TEST(Differential, MaskedTreeOracleMatchesDedicatedBfs) {
     for (const FaultModel model : {FaultModel::vertex, FaultModel::edge})
       expect_masked_oracle_matches(g, model, t, alpha, u, targets, seed);
   }
+}
+
+// ------------------------------------------------- tracing bit-identity
+
+/// The obs layer's second CI contract: tracing observes, never steers.
+/// Every consumer-visible output — picks, certificates, sweep counts, and
+/// the verifier's report — must be bit-identical with tracing on vs off at
+/// threads {1, 2, 8}.
+TEST(Differential, TracingOnNeverPerturbsResults) {
+  obs::reset_for_testing();
+  Rng rng(0x0b5eULL);
+  const Graph g = gnp(48, 0.14, rng);
+  const SpannerParams params{.k = 2, .f = 2};
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    const std::string ctx = "threads=" + std::to_string(threads);
+    ModifiedGreedyConfig config;
+    config.record_certificates = true;
+    config.exec.threads = threads;
+
+    const auto off = modified_greedy_spanner(g, params, config);
+    Rng verify_off_rng(99);
+    const auto report_off =
+        verify_sampled(g, off.spanner, params, 8, verify_off_rng);
+
+    obs::trace_start(obs::TraceOptions{std::size_t{1} << 12});
+    const auto on = modified_greedy_spanner(g, params, config);
+    Rng verify_on_rng(99);
+    const auto report_on =
+        verify_sampled(g, on.spanner, params, 8, verify_on_rng);
+    obs::trace_stop();
+    obs::metrics_stop();
+
+    ASSERT_EQ(on.picked, off.picked) << ctx;
+    EXPECT_EQ(on.stats.oracle_calls, off.stats.oracle_calls) << ctx;
+    EXPECT_EQ(on.stats.search_sweeps, off.stats.search_sweeps) << ctx;
+    ASSERT_EQ(on.certificates.size(), off.certificates.size()) << ctx;
+    for (std::size_t i = 0; i < off.certificates.size(); ++i)
+      ASSERT_EQ(on.certificates[i].ids, off.certificates[i].ids)
+          << ctx << " certificate=" << i;
+    EXPECT_EQ(report_on.ok, report_off.ok) << ctx;
+    EXPECT_EQ(report_on.max_stretch, report_off.max_stretch) << ctx;
+    EXPECT_EQ(report_on.pairs_checked, report_off.pairs_checked) << ctx;
+  }
+  obs::reset_for_testing();
 }
 
 TEST(Differential, MaskedTreeOracleMatchesOnDenseGraphs) {

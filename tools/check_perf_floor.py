@@ -20,7 +20,10 @@ gates per config: `seconds` (wall-clock, with the same relative slack) and
 `max_peak_rss_mb` (a hard memory ceiling — no slack; RSS regressions at
 scale are the failure mode this lane exists to catch).  An entry may also
 pin `spanner_m`: the generators are seeded deterministically, so the built
-spanner size must reproduce exactly run over run.  Floor entries with no
+spanner size must reproduce exactly run over run.  An entry may also set
+`max_alloc_calls`, a hard ceiling on the bench's binary-local operator-new
+count during the build — the gate that proves a linked-but-disabled obs
+layer allocates nothing on the hot path.  Floor entries with no
 matching row are reported but do not fail — the per-push lane runs only the
 smallest large config while the nightly sweep covers every scale.
 
@@ -31,12 +34,45 @@ Usage:
 The floor file is an object {"e4": [...], "e16": [...]}; a bare list is
 accepted as e4-only for compatibility.  Exits non-zero with a per-failure
 report; prints the measured rows so the CI log shows the perf trajectory
-at a glance.
+at a glance.  Both modes also print a per-config delta table (config,
+measured, floor, budget, headroom %) and mirror it as markdown into
+$GITHUB_STEP_SUMMARY when CI provides one, so the remaining headroom is
+visible from the run summary without opening the log.
 """
 
 import argparse
 import json
+import os
 import sys
+
+
+def emit_delta_table(title, deltas):
+    """Prints the per-config floor-delta table (config, metric, measured,
+    floor, budget, headroom %) to stdout, and appends the same table as
+    markdown to $GITHUB_STEP_SUMMARY when CI sets it, so every perf-lane run
+    shows how much room is left before the gate trips."""
+    if not deltas:
+        return
+    print("\n%s:" % title)
+    print("  %-44s %-8s %12s %12s %12s %9s"
+          % ("config", "metric", "measured", "floor", "budget", "headroom"))
+    for cfg, metric, measured, floor_value, budget in deltas:
+        headroom = (1.0 - measured / budget) * 100.0 if budget > 0 else 0.0
+        print("  %-44s %-8s %12.4f %12.4f %12.4f %+8.1f%%"
+              % (cfg, metric, measured, floor_value, budget, headroom))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write("### %s\n\n" % title)
+            fh.write("| config | metric | measured | floor | budget "
+                     "| headroom |\n|---|---|---:|---:|---:|---:|\n")
+            for cfg, metric, measured, floor_value, budget in deltas:
+                headroom = ((1.0 - measured / budget) * 100.0
+                            if budget > 0 else 0.0)
+                fh.write("| `%s` | %s | %.4f | %.4f | %.4f | %+.1f%% |\n"
+                         % (cfg, metric, measured, floor_value, budget,
+                            headroom))
+            fh.write("\n")
 
 
 def config_key(row):
@@ -63,6 +99,7 @@ def check_e16(rows, floors, slack):
     """Gate an E16 sweep: wall-clock with slack, RSS as a hard ceiling,
     spanner_m pinned exactly when the floor entry records it."""
     failures = []
+    deltas = []
     indexed = {e16_key(r): r for r in rows}
     checked = 0
     for floor in floors:
@@ -74,17 +111,33 @@ def check_e16(rows, floors, slack):
                   % (key,))
             continue
         checked += 1
+        cfg = "%s scale=%d f=%d k=%d threads=%d" % key
         budget = floor["seconds"] * (1.0 + slack)
+        deltas.append((cfg, "seconds", row["seconds"], floor["seconds"],
+                       budget))
         if row["seconds"] > budget:
             failures.append(
                 "%s: %.2fs exceeds the floor %.2fs + %d%% slack (= %.2fs)"
                 % (key, row["seconds"], floor["seconds"],
                    round(slack * 100), budget))
         ceiling = floor.get("max_peak_rss_mb")
+        if ceiling is not None:
+            deltas.append((cfg, "rss_mb", row["peak_rss_mb"], float(ceiling),
+                           float(ceiling)))
         if ceiling is not None and row["peak_rss_mb"] > ceiling:
             failures.append(
                 "%s: peak RSS %.0f MB exceeds the hard ceiling %.0f MB"
                 % (key, row["peak_rss_mb"], ceiling))
+        alloc_ceiling = floor.get("max_alloc_calls")
+        if alloc_ceiling is not None:
+            deltas.append((cfg, "allocs", float(row["alloc_calls"]),
+                           float(alloc_ceiling), float(alloc_ceiling)))
+            if row["alloc_calls"] > alloc_ceiling:
+                failures.append(
+                    "%s: %d operator-new calls exceed the hard ceiling %d — "
+                    "per-decision heap churn came back (or a disabled obs "
+                    "layer is allocating on the hot path)"
+                    % (key, row["alloc_calls"], alloc_ceiling))
         pinned = floor.get("spanner_m")
         if pinned is not None and row["spanner_m"] != pinned:
             failures.append(
@@ -104,6 +157,7 @@ def check_e16(rows, floors, slack):
               % (r["family"], r["scale"], r["f"], r["k"], r["threads"],
                  r["seconds"], r["gen_seconds"], r["peak_rss_mb"],
                  r["spanner_m"], r["tree_extends"]))
+    emit_delta_table("E16 scale floor deltas", deltas)
     return failures
 
 
@@ -180,6 +234,7 @@ def main():
 
     # 3. Regression gate against the checked-in floor.
     floors = load_floors(args.floor, "e4")
+    deltas = []
     indexed = {(config_key(r) + (r["threads"],)): r for r in rows}
     for floor in floors:
         key = (floor["algo"], floor["n"], floor["f"], floor["k"],
@@ -189,6 +244,8 @@ def main():
             failures.append("floor config %s missing from %s" % (key, args.main))
             continue
         budget = floor["seconds"] * (1.0 + args.slack)
+        deltas.append(("%s n=%d f=%d k=%d threads=%d" % key, "seconds",
+                       row["seconds"], floor["seconds"], budget))
         if row["seconds"] > budget:
             failures.append(
                 "%s: %.4fs exceeds the floor %.4fs + %d%% slack (= %.4fs)"
@@ -202,6 +259,7 @@ def main():
               % ("%s n=%d f=%d k=%d" % config_key(r), r["threads"],
                  r["threads_used"], r["seconds"],
                  "%.2fx" % r["speedup"] if r["speedup"] is not None else "null"))
+    emit_delta_table("E4 runtime floor deltas", deltas)
 
     if failures:
         print("\nFAILURES:", file=sys.stderr)

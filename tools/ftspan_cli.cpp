@@ -10,10 +10,15 @@
 //                     --overlap 0 disables the pipelined commit/evaluate
 //                     windows, --steal 0 disables terminal-batch work
 //                     stealing — results are identical either way)
+//                     [--trace out.trace.json] [--metrics out.metrics.json]
+//                     (record engine spans to Chrome trace JSON — load it at
+//                     https://ui.perfetto.dev — and/or dump the merged
+//                     counter snapshot; results are bit-identical either way)
 //   ftspan_cli verify --in g.graph --spanner h.graph [--k 2] [--f 1]
 //                     [--model vertex|edge] [--trials 200] [--exhaustive]
 //                     [--threads 1]   (sampled only; fans trials over the
 //                     shared pool, report identical at any count)
+//                     [--trace out.trace.json] [--metrics out.metrics.json]
 //   ftspan_cli info   --in g.graph
 //   ftspan_cli gen    --out g.graph
 //                     --family gnp|geometric|grid|hypercube|rmat|kronecker
@@ -24,6 +29,7 @@
 // Graphs use the ftspan edge-list format (see src/graph/io.h).
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -34,6 +40,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/subgraph.h"
+#include "obs/obs.h"
 #include "spanner/dk11.h"
 #include "util/cli.h"
 
@@ -41,14 +48,58 @@ namespace {
 
 using namespace ftspan;
 
+/// --trace / --metrics wiring shared by build and verify.  start() before
+/// the work, finish() after the command's own output; tracing never changes
+/// the command's results, only records what it did.
+struct ObsCliFlags {
+  std::string trace_path;
+  std::string metrics_path;
+
+  static ObsCliFlags from(const Cli& cli) {
+    return ObsCliFlags{cli.get("trace", ""), cli.get("metrics", "")};
+  }
+
+  void start() const {
+    if (!trace_path.empty())
+      obs::trace_start();
+    else if (!metrics_path.empty())
+      obs::metrics_start();
+  }
+
+  [[nodiscard]] bool finish() const {
+    bool ok = true;
+    if (!trace_path.empty()) {
+      if (obs::write_chrome_trace(trace_path)) {
+        std::cout << "trace written to " << trace_path
+                  << " (load at https://ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "error: cannot write " << trace_path << "\n";
+        ok = false;
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out) {
+        obs::write_metrics_json(out);
+        std::cout << "metrics written to " << metrics_path << "\n";
+      } else {
+        std::cerr << "error: cannot write " << metrics_path << "\n";
+        ok = false;
+      }
+    }
+    return ok;
+  }
+};
+
 int usage() {
   std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
                " [--algo modified|exact|dk11] [--seed 1] [--threads 1]"
-               " [--batch 1] [--masked 1] [--overlap 1] [--steal 1]\n"
+               " [--batch 1] [--masked 1] [--overlap 1] [--steal 1]"
+               " [--trace T.json] [--metrics M.json]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
                " [--model vertex|edge] [--trials 200] [--exhaustive]"
-               " [--threads 1]\n"
+               " [--threads 1] [--trace T.json] [--metrics M.json]\n"
                "  info   --in G\n"
                "  gen    --out G --family gnp|geometric|grid|hypercube|rmat|kronecker"
                " [--n 256] [--p 0.1] [--seed 1] [--weighted]"
@@ -77,6 +128,8 @@ int cmd_build(const Cli& cli) {
   const SpannerParams params = params_from(cli);
   const std::string algo = cli.get("algo", "modified");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const ObsCliFlags obs_flags = ObsCliFlags::from(cli);
+  obs_flags.start();
 
   Graph h;
   if (algo == "modified") {
@@ -133,13 +186,15 @@ int cmd_build(const Cli& cli) {
             << "spanner " << h.summary() << " ("
             << (g.m() == 0 ? 100.0 : 100.0 * h.m() / g.m())
             << "% of edges) written\n";
-  return 0;
+  return obs_flags.finish() ? 0 : 1;
 }
 
 int cmd_verify(const Cli& cli) {
   const Graph g = load_graph(cli.get("in", ""));
   const Graph h = load_graph(cli.get("spanner", ""));
   const SpannerParams params = params_from(cli);
+  const ObsCliFlags obs_flags = ObsCliFlags::from(cli);
+  obs_flags.start();
   StretchReport report;
   if (cli.has("exhaustive")) {
     report = verify_exhaustive(g, h, params);
@@ -165,7 +220,8 @@ int cmd_verify(const Cli& cli) {
               << ") d_G=" << report.worst.d_g << " d_H=" << report.worst.d_h
               << " under " << report.worst.faults.ids.size() << " faults\n";
   }
-  return report.ok ? 0 : 1;
+  const bool obs_ok = obs_flags.finish();
+  return report.ok && obs_ok ? 0 : 1;
 }
 
 int cmd_info(const Cli& cli) {
