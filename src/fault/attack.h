@@ -27,10 +27,23 @@ enum class AttackStrategy : std::uint8_t {
                   ///< mirrors Algorithm 2's path-hitting).
 };
 
-/// Draws one fault set of exactly `count` elements (fewer only when the
-/// universe is too small).  `g` is the base graph, `h` the spanner under
-/// attack.  Vertex model excludes no vertices (the verifier skips pairs
-/// whose endpoints failed).
+/// Draws one fault set of exactly `count` distinct in-range elements —
+/// except when the universe cannot supply them, in which case the set is
+/// SHORTER, never padded with duplicates and never an error.  The exact
+/// ceiling depends on the strategy:
+///
+///   - uniform / high_degree: min(count, universe), where the universe is
+///     n for vertex faults and m (of g) for edge faults;
+///   - neighborhood / detour_hitting, vertex model: min(count, n - 2) —
+///     the random pivot edge's endpoints are protected so the trial is not
+///     wasted on a skipped pair;
+///   - neighborhood, edge model: min(count, m - 1) — the pivot edge itself
+///     is excluded.
+///
+/// Callers that treat a draw as one "size-count trial" must check
+/// `ids.size()` and skip (not miscount) short draws — verify_sampled tallies
+/// them in StretchReport::trials_skipped.  `g` is the base graph, `h` the
+/// spanner under attack.
 [[nodiscard]] FaultSet generate_attack(const Graph& g, const Graph& h,
                                        FaultModel model, std::uint32_t count,
                                        AttackStrategy strategy, Rng& rng);

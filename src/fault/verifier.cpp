@@ -144,61 +144,84 @@ StretchReport verify_exhaustive(const Graph& g, const Graph& h,
   return report;
 }
 
-StretchReport verify_sampled(const Graph& g, const Graph& h,
-                             const SpannerParams& params, std::uint32_t trials,
-                             Rng& rng, const ExecPolicy& exec) {
+StretchReport verify_fault_sets(const Graph& g, const Graph& h,
+                                const SpannerParams& params,
+                                std::span<const FaultSet> sets,
+                                const ExecPolicy& exec,
+                                std::vector<StretchReport>* per_set) {
   params.validate();
   const std::uint32_t threads = exec::resolve_threads(exec.threads);
-  StretchReport report;
+  std::vector<StretchReport> local;
+  std::vector<StretchReport>& partial = per_set != nullptr ? *per_set : local;
+  partial.assign(sets.size(), StretchReport{});
 
-  if (threads <= 1) {
+  if (threads <= 1 || sets.size() <= 1) {
     PairChecker checker(g, h, params);
-    // Always include the empty fault set: H must at least be a plain spanner.
-    checker.check(FaultSet{params.model, {}}, report);
-    for (std::uint32_t trial = 0; trial < trials; ++trial) {
-      const FaultSet faults =
-          generate_mixed_attack(g, h, params.model, params.f, trial, rng);
-      checker.check(faults, report);
-    }
-    return report;
+    for (std::size_t i = 0; i < sets.size(); ++i)
+      checker.check(sets[i], partial[i]);
+  } else {
+    std::vector<std::unique_ptr<PairChecker>> checkers(threads);
+    for (auto& checker : checkers)
+      checker = std::make_unique<PairChecker>(g, h, params);
+    exec::ThreadPool& pool =
+        exec.pool != nullptr ? *exec.pool : exec::shared_pool();
+    pool.ensure_workers(threads);
+    pool.run(
+        sets.size(),
+        [&](unsigned worker, std::size_t i) {
+          checkers[worker]->check(sets[i], partial[i]);
+        },
+        threads);
   }
 
-  // Parallel path: draw every fault set up front (the rng stream is consumed
-  // exactly as in the sequential path), check trials independently with
-  // per-worker checkers, then fold the per-trial reports in trial order so
-  // the max-stretch tie-breaking — first trial, first pair — matches the
-  // sequential fold bit for bit.
-  std::vector<FaultSet> sets;
-  sets.reserve(std::size_t{trials} + 1);
-  sets.push_back(FaultSet{params.model, {}});
-  for (std::uint32_t trial = 0; trial < trials; ++trial)
-    sets.push_back(
-        generate_mixed_attack(g, h, params.model, params.f, trial, rng));
-
-  std::vector<std::unique_ptr<PairChecker>> checkers(threads);
-  for (auto& checker : checkers)
-    checker = std::make_unique<PairChecker>(g, h, params);
-  std::vector<StretchReport> partial(sets.size());
-
-  exec::ThreadPool& pool =
-      exec.pool != nullptr ? *exec.pool : exec::shared_pool();
-  pool.ensure_workers(threads);
-  pool.run(
-      sets.size(),
-      [&](unsigned worker, std::size_t i) {
-        checkers[worker]->check(sets[i], partial[i]);
-      },
-      threads);
-
-  for (auto& p : partial) {
+  // Fold in set order: the max-stretch tie-breaking — first set, first pair
+  // — is identical at every thread count.
+  StretchReport report;
+  for (const auto& p : partial) {
     report.fault_sets_checked += p.fault_sets_checked;
     report.pairs_checked += p.pairs_checked;
     report.ok = report.ok && p.ok;
     if (p.max_stretch > report.max_stretch) {
       report.max_stretch = p.max_stretch;
-      report.worst = std::move(p.worst);
+      report.worst = p.worst;
     }
   }
+  return report;
+}
+
+StretchReport verify_sampled(const Graph& g, const Graph& h,
+                             const SpannerParams& params, std::uint32_t trials,
+                             Rng& rng, const ExecPolicy& exec) {
+  params.validate();
+  // Draw every fault set up front (sequential rng consumption is the
+  // bit-identity contract).  Trial i requests size f - (i mod (f+1)), so
+  // every size in [0, f] is exercised — Definition 1 quantifies over
+  // |F| <= f and stretch is not monotone in F.  Size-0 requests and draws
+  // the universe could not fill (see attack.h's size contract) are skipped,
+  // not silently counted as full-strength trials.
+  std::vector<FaultSet> sets;
+  sets.reserve(std::size_t{trials} + 1);
+  // Always include the empty fault set: H must at least be a plain spanner.
+  sets.push_back(FaultSet{params.model, {}});
+  std::uint64_t skipped = 0;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    const std::uint32_t want =
+        params.f == 0 ? 0 : params.f - (trial % (params.f + 1));
+    if (want == 0) {
+      ++skipped;
+      continue;
+    }
+    FaultSet faults =
+        generate_mixed_attack(g, h, params.model, want, trial, rng);
+    if (faults.ids.size() < want) {
+      ++skipped;
+      continue;
+    }
+    sets.push_back(std::move(faults));
+  }
+
+  StretchReport report = verify_fault_sets(g, h, params, sets, exec);
+  report.trials_skipped = skipped;
   return report;
 }
 

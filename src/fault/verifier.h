@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/options.h"
@@ -41,6 +42,12 @@ struct StretchReport {
   StretchWitness worst;
   std::uint64_t fault_sets_checked = 0;
   std::uint64_t pairs_checked = 0;
+  /// Sampled trials that drew no usable fault set and were skipped instead
+  /// of counted: the universe was too small for the requested size (see
+  /// attack.h's size contract), or the trial's requested size was 0 (the
+  /// empty set is always checked once, up front).  Always 0 for
+  /// verify_exhaustive / check_fault_set.
+  std::uint64_t trials_skipped = 0;
 };
 
 /// Exhaustively verifies that `h` is an f-FT (2k-1)-spanner of `g`
@@ -50,9 +57,18 @@ struct StretchReport {
 [[nodiscard]] StretchReport verify_exhaustive(const Graph& g, const Graph& h,
                                               const SpannerParams& params);
 
-/// Verifies against `trials` sampled fault sets (exactly size f each, drawn
-/// from a mix of random and adversarial strategies).  A failure is a
-/// counterexample; success is evidence, not proof.
+/// Verifies against `trials` sampled fault sets drawn from a mix of random
+/// and adversarial strategies.  A failure is a counterexample; success is
+/// evidence, not proof.
+///
+/// Definition 1 quantifies over |F| <= f, and stretch is NOT monotone in F
+/// (adding a fault can disconnect or skip the witness pair), so trial i
+/// requests size f - (i mod (f+1)): every size in [0, f] is exercised, not
+/// just the full budget.  Size-0 requests are skipped (the empty set is
+/// always checked once, up front), as are trials whose universe is too
+/// small for the requested size (attack.h may return fewer faults than
+/// asked); both are tallied in StretchReport::trials_skipped rather than
+/// counted as full-strength coverage.
 ///
 /// Trials are independent, so `exec.threads` > 1 (or 0 = auto) fans them
 /// over the shared worker pool (exec::shared_pool(), or exec.pool): fault
@@ -64,6 +80,18 @@ struct StretchReport {
                                            const SpannerParams& params,
                                            std::uint32_t trials, Rng& rng,
                                            const ExecPolicy& exec = {});
+
+/// The storm core shared by verify_sampled and the scenario layer
+/// (fault/scenario.h): checks every fault set in `sets` against all
+/// surviving G-edges and folds the per-set reports in order, so the result
+/// — including the worst witness — is bit-identical at any `exec` thread
+/// count.  When `per_set` is not null it receives each set's individual
+/// report (aligned with `sets`), which is how the attack benches compute
+/// per-trial stretch percentiles.  O(|sets| * m * Dijkstra).
+[[nodiscard]] StretchReport verify_fault_sets(
+    const Graph& g, const Graph& h, const SpannerParams& params,
+    std::span<const FaultSet> sets, const ExecPolicy& exec = {},
+    std::vector<StretchReport>* per_set = nullptr);
 
 /// Checks one specific fault set: max stretch over surviving G-edges
 /// (Lemma 3 reduction), each pair one budget-pruned Dijkstra in G\F and one

@@ -34,6 +34,7 @@
 
 // Fault-tolerance verification.
 #include "fault/attack.h"
+#include "fault/scenario.h"
 #include "fault/verifier.h"
 
 // Structural analysis (blocking sets, girth, scaling fits).

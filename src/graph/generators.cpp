@@ -65,6 +65,19 @@ Graph torus_graph(std::size_t rows, std::size_t cols) {
   return g;
 }
 
+std::vector<Point> grid_coords(std::size_t rows, std::size_t cols) {
+  FTSPAN_REQUIRE(rows >= 1 && cols >= 1, "grid_coords requires positive dims");
+  std::vector<Point> coords;
+  coords.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      coords.push_back(Point{(static_cast<double>(c) + 0.5) /
+                                 static_cast<double>(cols),
+                             (static_cast<double>(r) + 0.5) /
+                                 static_cast<double>(rows)});
+  return coords;
+}
+
 Graph hypercube_graph(std::size_t dim) {
   FTSPAN_REQUIRE(dim <= 20, "hypercube dimension too large");
   const std::size_t n = std::size_t{1} << dim;

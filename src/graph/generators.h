@@ -57,6 +57,13 @@ struct Point {
 [[nodiscard]] Graph random_geometric(std::size_t n, double radius, Rng& rng,
                                      std::vector<Point>* coords = nullptr);
 
+/// Unit-square coordinates of grid_graph/torus_graph vertices, in the same
+/// row-major id order: vertex r*cols + c sits at the center of cell (r, c).
+/// Lets grid/torus workloads feed the coordinate-based fault scenarios
+/// (geo_ball, SRLG locality grouping).  Requires rows, cols >= 1.
+[[nodiscard]] std::vector<Point> grid_coords(std::size_t rows,
+                                             std::size_t cols);
+
 /// Random d-regular graph via the configuration model with restarts.
 /// Requires n*d even, d < n.
 [[nodiscard]] Graph random_regular(std::size_t n, std::size_t d, Rng& rng);

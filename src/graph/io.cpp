@@ -56,6 +56,31 @@ Graph read_edge_list(std::istream& is) {
   return g;
 }
 
+void write_points(std::ostream& os, const std::vector<Point>& points) {
+  os << "ftspan-points " << points.size() << '\n';
+  os.precision(17);
+  for (const auto& p : points) os << p.x << ' ' << p.y << '\n';
+}
+
+std::vector<Point> read_points(std::istream& is) {
+  std::istringstream header(next_content_line(is));
+  std::string magic;
+  std::size_t n = 0;
+  if (!(header >> magic >> n) || magic != "ftspan-points")
+    throw std::invalid_argument("ftspan points: bad header");
+  std::vector<Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream row(next_content_line(is));
+    Point p;
+    if (!(row >> p.x >> p.y))
+      throw std::invalid_argument("ftspan points: bad point on line " +
+                                  std::to_string(i + 2));
+    points.push_back(p);
+  }
+  return points;
+}
+
 void save_graph(const std::string& path, const Graph& g) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("cannot open for writing: " + path);
@@ -67,6 +92,19 @@ Graph load_graph(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
   return read_edge_list(is);
+}
+
+void save_points(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  write_points(os, points);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<Point> load_points(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return read_points(is);
 }
 
 }  // namespace ftspan

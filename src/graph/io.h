@@ -9,7 +9,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "graph/generators.h"
 #include "graph/graph.h"
 
 namespace ftspan {
@@ -21,9 +23,23 @@ void write_edge_list(std::ostream& os, const Graph& g);
 /// std::invalid_argument on malformed input.
 [[nodiscard]] Graph read_edge_list(std::istream& is);
 
+/// Writes vertex coordinates (one Point per vertex, same order as the
+/// graph's ids) in the companion format:
+///   ftspan-points <n>
+///   <x> <y>          (n lines; '#' comments allowed)
+/// The coordinate-based fault scenarios (geo_ball, SRLG locality grouping)
+/// consume these; `ftspan_cli gen --coords` emits them.
+void write_points(std::ostream& os, const std::vector<Point>& points);
+
+/// Parses a point set in the ftspan-points format; throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<Point> read_points(std::istream& is);
+
 /// Convenience file wrappers; throw std::runtime_error when the file cannot
 /// be opened.
 void save_graph(const std::string& path, const Graph& g);
 [[nodiscard]] Graph load_graph(const std::string& path);
+void save_points(const std::string& path, const std::vector<Point>& points);
+[[nodiscard]] std::vector<Point> load_points(const std::string& path);
 
 }  // namespace ftspan

@@ -16,10 +16,12 @@
 
 #include "core/lbc.h"
 #include "core/modified_greedy.h"
+#include "fault/scenario.h"
 #include "fault/verifier.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "obs/obs.h"
+#include "spanner/baswana_sen.h"
 #include "util/rng.h"
 
 namespace ftspan {
@@ -248,6 +250,61 @@ TEST(Differential, TracingOnNeverPerturbsResults) {
     EXPECT_EQ(report_on.pairs_checked, report_off.pairs_checked) << ctx;
   }
   obs::reset_for_testing();
+}
+
+// ------------------------------------------------- scenario bit-identity
+
+/// Scenario storms share verify_sampled's execution contract: draws are
+/// consumed sequentially up front and per-trial reports fold in trial order,
+/// so the whole report — including the worst witness — must be bit-identical
+/// at threads {1, 2, 8}.  A baswana_sen (non-FT) spanner keeps the witness
+/// interesting: violations and infinities must reproduce too.
+TEST(Differential, ScenarioStormsBitIdenticalAcrossThreads) {
+  for (const std::uint64_t seed : {71u, 72u, 73u}) {
+    Rng gen_rng(0x5ce2ULL * seed + 1);
+    std::vector<Point> coords;
+    const Graph g = random_geometric(36, 0.3, gen_rng, &coords);
+    Rng bs_rng(seed);
+    const Graph h = baswana_sen_spanner(g, 2, bs_rng);
+    for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+      const SpannerParams params{.k = 2, .f = 2, .model = model};
+      for (const ScenarioKind kind : kAllScenarioKinds) {
+        ScenarioSpec spec;
+        spec.kind = kind;
+        spec.ball_radius = 0.3;
+        spec.restarts = 2;
+        spec.coords = coords;
+        const std::uint32_t trials =
+            kind == ScenarioKind::adaptive ? 4 : 10;
+        const std::uint64_t storm_seed = seed * 131 + 7;
+
+        Rng ref_rng(storm_seed);
+        const StretchReport ref =
+            verify_scenario(g, h, params, spec, trials, ref_rng);
+        for (const std::uint32_t threads : {2u, 8u}) {
+          const std::string ctx = "seed=" + std::to_string(seed) +
+                                  " scenario=" + to_string(kind) +
+                                  " model=" + to_string(params.model) +
+                                  " threads=" + std::to_string(threads);
+          ExecPolicy exec;
+          exec.threads = threads;
+          Rng rng(storm_seed);
+          const StretchReport report =
+              verify_scenario(g, h, params, spec, trials, rng, exec);
+          ASSERT_EQ(report.ok, ref.ok) << ctx;
+          ASSERT_EQ(report.max_stretch, ref.max_stretch) << ctx;
+          ASSERT_EQ(report.fault_sets_checked, ref.fault_sets_checked) << ctx;
+          ASSERT_EQ(report.pairs_checked, ref.pairs_checked) << ctx;
+          ASSERT_EQ(report.trials_skipped, ref.trials_skipped) << ctx;
+          ASSERT_EQ(report.worst.faults.ids, ref.worst.faults.ids) << ctx;
+          ASSERT_EQ(report.worst.u, ref.worst.u) << ctx;
+          ASSERT_EQ(report.worst.v, ref.worst.v) << ctx;
+          ASSERT_EQ(report.worst.d_g, ref.worst.d_g) << ctx;
+          ASSERT_EQ(report.worst.d_h, ref.worst.d_h) << ctx;
+        }
+      }
+    }
+  }
 }
 
 TEST(Differential, MaskedTreeOracleMatchesOnDenseGraphs) {

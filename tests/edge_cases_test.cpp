@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/lbc.h"
 #include "core/modified_greedy.h"
+#include "fault/attack.h"
 #include "fault/verifier.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -164,6 +166,60 @@ TEST(EdgeCases, VerifierOnDegenerateInputs) {
 
   const Graph single(1);
   EXPECT_TRUE(verify_exhaustive(single, single, params).ok);
+}
+
+TEST(EdgeCases, AttackSizeContractOnTinyUniverses) {
+  // attack.h's documented ceilings, asserted on the graphs where they bind:
+  // uniform/high_degree saturate the universe, the pivot-protecting
+  // strategies stop at n-2 (vertex) / m-1 (neighborhood, edge model).
+  const Graph star = star_graph(5);    // n=5, m=4
+  const Graph path = path_graph(4);    // n=4, m=3
+  const Graph single = path_graph(2);  // n=2, m=1
+  constexpr std::uint32_t kAsk = 10;   // always more than any universe here
+
+  for (const Graph* g : {&star, &path, &single}) {
+    const auto n = static_cast<std::uint32_t>(g->n());
+    const auto m = static_cast<std::uint32_t>(g->m());
+    const std::string ctx = "n=" + std::to_string(n) + " m=" + std::to_string(m);
+    Rng rng(601);
+    const auto size_of = [&](FaultModel model, AttackStrategy strategy) {
+      const FaultSet fs = generate_attack(*g, *g, model, kAsk, strategy, rng);
+      // The contract also promises distinct, in-range ids.
+      std::vector<std::uint32_t> ids = fs.ids;
+      std::sort(ids.begin(), ids.end());
+      EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end()) << ctx;
+      for (const auto id : ids)
+        EXPECT_LT(id, model == FaultModel::vertex ? n : m) << ctx;
+      return static_cast<std::uint32_t>(fs.ids.size());
+    };
+
+    EXPECT_EQ(size_of(FaultModel::vertex, AttackStrategy::uniform), n) << ctx;
+    EXPECT_EQ(size_of(FaultModel::vertex, AttackStrategy::high_degree), n)
+        << ctx;
+    EXPECT_EQ(size_of(FaultModel::vertex, AttackStrategy::neighborhood), n - 2)
+        << ctx;
+    EXPECT_EQ(size_of(FaultModel::vertex, AttackStrategy::detour_hitting),
+              n - 2)
+        << ctx;
+    EXPECT_EQ(size_of(FaultModel::edge, AttackStrategy::uniform), m) << ctx;
+    EXPECT_EQ(size_of(FaultModel::edge, AttackStrategy::high_degree), m) << ctx;
+    EXPECT_EQ(size_of(FaultModel::edge, AttackStrategy::neighborhood), m - 1)
+        << ctx;
+    EXPECT_EQ(size_of(FaultModel::edge, AttackStrategy::detour_hitting), m)
+        << ctx;
+  }
+}
+
+TEST(EdgeCases, VerifierSkipsUndersizedTrialsInsteadOfMiscounting) {
+  // f far above the universe: most draws come back short and must be
+  // tallied as skipped, never counted as full-strength size-f coverage.
+  const Graph g = path_graph(3);  // n=3, m=2
+  const SpannerParams params{.k = 2, .f = 5};
+  Rng rng(602);
+  const auto report = verify_sampled(g, g, params, 12, rng);
+  EXPECT_TRUE(report.ok);  // H == G is always a spanner
+  EXPECT_GT(report.trials_skipped, 0u);
+  EXPECT_EQ(report.fault_sets_checked, 1u + 12u - report.trials_skipped);
 }
 
 }  // namespace

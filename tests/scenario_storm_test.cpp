@@ -1,0 +1,57 @@
+// Nightly scenario storm (slow label): the paper's modified greedy must hold
+// its 2k-1 stretch under every structured fault scenario — correlated SRLG
+// groups, geographic balls, adaptive adversaries, and cascades — on
+// medium-sized geometric workloads, for both fault models and several
+// (k, f) points.  The fast-label scenario_test covers the same layer on
+// oracle-sized instances; this storm is the volume pass.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/modified_greedy.h"
+#include "fault/scenario.h"
+#include "fault/verifier.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace ftspan {
+namespace {
+
+TEST(ScenarioStorm, ModifiedGreedySurvivesEveryScenario) {
+  Rng gen_rng(0x517eULL);
+  std::vector<Point> coords;
+  const Graph g = random_geometric(150, 0.16, gen_rng, &coords);
+
+  for (const auto& [k, f] : {std::pair{2u, 2u}, {2u, 3u}}) {
+    for (const FaultModel model : {FaultModel::vertex, FaultModel::edge}) {
+      const SpannerParams params{.k = k, .f = f, .model = model};
+      const Graph h = modified_greedy_spanner(g, params).spanner;
+      for (const ScenarioKind kind : kAllScenarioKinds) {
+        ScenarioSpec spec;
+        spec.kind = kind;
+        spec.ball_radius = 0.25;
+        spec.restarts = 2;
+        spec.coords = coords;
+        // Adaptive draws run check_fault_set internally, so fewer trials buy
+        // the same adversarial pressure.
+        const std::uint32_t trials =
+            kind == ScenarioKind::adaptive ? 10 : 40;
+        Rng rng(0x57ULL + k * 131 + f * 17);
+        const StretchReport report =
+            verify_scenario(g, h, params, spec, trials, rng);
+        EXPECT_TRUE(report.ok)
+            << "k=" << k << " f=" << f << " model=" << to_string(model)
+            << " scenario=" << to_string(kind)
+            << " max_stretch=" << report.max_stretch << " at ("
+            << report.worst.u << "," << report.worst.v << ") |F|="
+            << report.worst.faults.ids.size();
+        EXPECT_EQ(report.fault_sets_checked, std::uint64_t{trials} + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftspan

@@ -79,6 +79,35 @@ TEST(Verifier, SampledAgreesWithExhaustiveOnBadSpanner) {
   EXPECT_FALSE(report.ok);  // the attack mix must find the hub failure
 }
 
+TEST(Verifier, SampledFindsWitnessesSmallerThanF) {
+  // Non-monotonicity gadget: G = K3, H = the path 0-1-2, k=2 (t=3), f=2,
+  // vertex faults.  The only violation is F={1} (|F| = 1 < f): it leaves the
+  // surviving G-edge {0,2} with d_H = infinity.  Every |F| = 2 set faults an
+  // endpoint of every edge, so a sampler that only draws exact-size-f sets
+  // can never see the violation and wrongly passes this spanner.  The size
+  // mix (trial i requests f - (i mod (f+1))) must find it.
+  const Graph g = complete_graph(3);
+  Graph h(3);
+  h.add_edge(0, 1);
+  h.add_edge(1, 2);
+  const SpannerParams params{.k = 2, .f = 2};
+
+  const auto oracle = verify_exhaustive(g, h, params);
+  ASSERT_FALSE(oracle.ok);
+  ASSERT_EQ(oracle.worst.faults.ids.size(), 1u);  // the gadget's point
+
+  Rng rng(7);
+  const auto report = verify_sampled(g, h, params, 12, rng);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(std::isinf(report.max_stretch));
+  EXPECT_EQ(report.worst.faults.ids, std::vector<std::uint32_t>{1u});
+  // Size-0 requests (every trial with i mod 3 == 2) are skipped, not
+  // counted: the empty set is checked exactly once, up front.
+  EXPECT_GT(report.trials_skipped, 0u);
+  EXPECT_EQ(report.fault_sets_checked,
+            1u + 12u - report.trials_skipped);
+}
+
 TEST(Verifier, CheckFaultSetRejectsModelMismatch) {
   const Graph g = cycle_graph(4);
   const SpannerParams params{.k = 2, .f = 1, .model = FaultModel::vertex};

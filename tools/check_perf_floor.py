@@ -27,12 +27,20 @@ layer allocates nothing on the hot path.  Floor entries with no
 matching row are reported but do not fail — the per-push lane runs only the
 smallest large config while the nightly sweep covers every scale.
 
+--e17 mode validates a BENCH_e17_attack.json from the stretch-under-attack
+shootout.  E17 entries are keyed on (algo, model, scenario, n, f, k) and pin
+*results*, not wall-clock: `max_stretch` must reproduce within 1e-6 (null
+means the storm disconnected some pair — pinned as null), and
+`disconnected_trials` / `spanner_m` must reproduce exactly.  Every seeded
+config is deterministic end to end (generator, construction, scenario
+draws), so any drift means decisions changed somewhere in the stack.
+
 Usage:
   check_perf_floor.py MAIN.json --floor bench/ci_perf_floor.json \
-      [--e16] [--ab AB1.json AB2.json ...] [--slack 0.25]
+      [--e16 | --e17] [--ab AB1.json AB2.json ...] [--slack 0.25]
 
-The floor file is an object {"e4": [...], "e16": [...]}; a bare list is
-accepted as e4-only for compatibility.  Exits non-zero with a per-failure
+The floor file is an object {"e4": [...], "e16": [...], "e17": [...]}; a
+bare list is accepted as e4-only for compatibility.  Exits non-zero with a per-failure
 report; prints the measured rows so the CI log shows the perf trajectory
 at a glance.  Both modes also print a per-config delta table (config,
 measured, floor, budget, headroom %) and mirror it as markdown into
@@ -161,6 +169,69 @@ def check_e16(rows, floors, slack):
     return failures
 
 
+def e17_key(row):
+    return (row["algo"], row["model"], row["scenario"], row["n"], row["f"],
+            row["k"])
+
+
+def check_e17(rows, floors, tolerance=1e-6):
+    """Gate an E17 attack shootout: max_stretch pinned within tolerance (null
+    = disconnected, pinned as null), disconnected_trials and spanner_m pinned
+    exactly.  No wall-clock gates — this lane pins results."""
+    failures = []
+    indexed = {e17_key(r): r for r in rows}
+    checked = 0
+    for floor in floors:
+        key = (floor["algo"], floor["model"], floor["scenario"], floor["n"],
+               floor["f"], floor["k"])
+        row = indexed.pop(key, None)
+        if row is None:
+            print("  (floor config %s not in this run — nightly-only)"
+                  % (key,))
+            continue
+        checked += 1
+        pinned = floor["max_stretch"]
+        measured = row["max_stretch"]
+        if (pinned is None) != (measured is None):
+            failures.append(
+                "%s: max_stretch %s != pinned %s — a seeded storm flipped "
+                "between finite stretch and disconnection"
+                % (key, measured, pinned))
+        elif pinned is not None and abs(measured - pinned) > tolerance:
+            failures.append(
+                "%s: max_stretch %.9f != pinned %.9f (tolerance %g) — a "
+                "seeded scenario storm is no longer deterministic (or the "
+                "construction/scenario decisions changed)"
+                % (key, measured, pinned, tolerance))
+        if row["disconnected_trials"] != floor["disconnected_trials"]:
+            failures.append(
+                "%s: disconnected_trials %d != pinned %d"
+                % (key, row["disconnected_trials"],
+                   floor["disconnected_trials"]))
+        pinned_m = floor.get("spanner_m")
+        if pinned_m is not None and row["spanner_m"] != pinned_m:
+            failures.append(
+                "%s: spanner_m %d != pinned %d — a seeded construction is no "
+                "longer deterministic" % (key, row["spanner_m"], pinned_m))
+    if checked == 0:
+        failures.append("no E17 row matched any floor config — the shootout "
+                        "measured nothing the gate covers")
+    for key in indexed:
+        failures.append("E17 row %s has no floor entry — add one to "
+                        "ci_perf_floor.json before landing a new config"
+                        % (key,))
+    for r in sorted(rows, key=e17_key):
+        print("  %-12s %-6s %-8s n=%-4d f=%d k=%d  p50=%-6s max=%-6s "
+              "disc=%-2d ok=%s"
+              % (r["algo"], r["model"], r["scenario"], r["n"], r["f"], r["k"],
+                 "inf" if r["p50_stretch"] is None
+                 else "%.2f" % r["p50_stretch"],
+                 "inf" if r["max_stretch"] is None
+                 else "%.2f" % r["max_stretch"],
+                 r["disconnected_trials"], r["ok"]))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("main", help="bench JSON from the perf lane")
@@ -168,6 +239,8 @@ def main():
                         help="checked-in per-config floor (ci_perf_floor.json)")
     parser.add_argument("--e16", action="store_true",
                         help="validate a BENCH_e16_scale.json instead of E4")
+    parser.add_argument("--e17", action="store_true",
+                        help="validate a BENCH_e17_attack.json instead of E4")
     parser.add_argument("--ab", nargs="*", default=[],
                         help="A/B run JSONs that must keep sweeps/spanner_m")
     parser.add_argument("--slack", type=float, default=0.25,
@@ -176,6 +249,20 @@ def main():
 
     rows = load(args.main)
     failures = []
+
+    if args.e17:
+        floors = load_floors(args.floor, "e17")
+        print("e17 attack lane: %d rows, %d floor configs"
+              % (len(rows), len(floors)))
+        failures = check_e17(rows, floors)
+        if failures:
+            print("\nFAILURES:", file=sys.stderr)
+            for failure in failures:
+                print("  - " + failure, file=sys.stderr)
+            return 1
+        print("all checks passed: every seeded storm reproduced its pinned "
+              "stretch profile")
+        return 0
 
     if args.e16:
         floors = load_floors(args.floor, "e16")

@@ -18,6 +18,12 @@
 //                     [--model vertex|edge] [--trials 200] [--exhaustive]
 //                     [--threads 1]   (sampled only; fans trials over the
 //                     shared pool, report identical at any count)
+//                     [--scenario srlg|ball|adaptive|cascade]
+//                     [--groups 0] [--radius 0.2] [--restarts 3]
+//                     [--coords pts.txt]   (structured fault scenarios —
+//                     fault/scenario.h; ball needs coords, srlg uses them
+//                     for locality grouping when given; without --coords,
+//                     ball falls back to seeded synthetic coords)
 //                     [--trace out.trace.json] [--metrics out.metrics.json]
 //   ftspan_cli info   --in g.graph
 //   ftspan_cli gen    --out g.graph
@@ -25,6 +31,9 @@
 //                     [--n 256] [--p 0.1] [--seed 1] [--weighted]
 //                     [--scale 10] [--edgefactor 16]   (rmat/kronecker:
 //                     n = 2^scale, ~edgefactor edges per vertex, --n ignored)
+//                     [--coords pts.txt]   (geometric/grid only: write the
+//                     vertex coordinates in the ftspan-points format, for
+//                     verify --scenario)
 //
 // Graphs use the ftspan edge-list format (see src/graph/io.h).
 
@@ -36,6 +45,7 @@
 #include "analysis/girth.h"
 #include "core/greedy_exact.h"
 #include "core/modified_greedy.h"
+#include "fault/scenario.h"
 #include "fault/verifier.h"
 #include "graph/generators.h"
 #include "graph/io.h"
@@ -99,11 +109,13 @@ int usage() {
                " [--trace T.json] [--metrics M.json]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
                " [--model vertex|edge] [--trials 200] [--exhaustive]"
-               " [--threads 1] [--trace T.json] [--metrics M.json]\n"
+               " [--threads 1] [--scenario srlg|ball|adaptive|cascade]"
+               " [--groups 0] [--radius 0.2] [--restarts 3] [--coords P]"
+               " [--trace T.json] [--metrics M.json]\n"
                "  info   --in G\n"
                "  gen    --out G --family gnp|geometric|grid|hypercube|rmat|kronecker"
                " [--n 256] [--p 0.1] [--seed 1] [--weighted]"
-               " [--scale 10] [--edgefactor 16]\n";
+               " [--scale 10] [--edgefactor 16] [--coords P]\n";
   return 2;
 }
 
@@ -205,9 +217,43 @@ int cmd_verify(const Cli& cli) {
       throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
     ExecPolicy exec;
     exec.threads = static_cast<std::uint32_t>(threads);
-    report = verify_sampled(
-        g, h, params, static_cast<std::uint32_t>(cli.get_int("trials", 200)),
-        rng, exec);
+    const auto trials = static_cast<std::uint32_t>(cli.get_int("trials", 200));
+    const std::string scenario_name = cli.get("scenario", "");
+    if (!scenario_name.empty()) {
+      const auto kind = parse_scenario_kind(scenario_name);
+      if (!kind)
+        throw std::invalid_argument(
+            "--scenario must be srlg, ball, adaptive, or cascade");
+      ScenarioSpec spec;
+      spec.kind = *kind;
+      spec.srlg_groups = static_cast<std::uint32_t>(cli.get_int("groups", 0));
+      spec.ball_radius = cli.get_double("radius", 0.2);
+      spec.restarts = static_cast<std::uint32_t>(cli.get_int("restarts", 3));
+      const std::string coords_path = cli.get("coords", "");
+      if (!coords_path.empty()) {
+        spec.coords = load_points(coords_path);
+        if (spec.coords.size() != g.n())
+          throw std::invalid_argument("--coords has " +
+                                      std::to_string(spec.coords.size()) +
+                                      " points for " + std::to_string(g.n()) +
+                                      " vertices");
+      } else if (spec.kind == ScenarioKind::geo_ball) {
+        // No coordinates on disk: fall back to seeded synthetic positions so
+        // the ball scenario still runs (as a random-correlation model).
+        spec.coords.reserve(g.n());
+        for (std::size_t i = 0; i < g.n(); ++i)
+          spec.coords.push_back(Point{rng.next_double(), rng.next_double()});
+        std::cout << "note: no --coords; using seeded synthetic positions\n";
+      }
+      std::cout << "scenario " << to_string(*kind) << ", " << trials
+                << " trials\n";
+      report = verify_scenario(g, h, params, spec, trials, rng, exec);
+    } else {
+      report = verify_sampled(g, h, params, trials, rng, exec);
+    }
+    if (report.trials_skipped > 0)
+      std::cout << "skipped " << report.trials_skipped
+                << " undersized/empty trials\n";
   }
   std::cout << "checked " << report.fault_sets_checked << " fault sets, "
             << report.pairs_checked << " pairs\n"
@@ -268,12 +314,25 @@ int cmd_gen(const Cli& cli) {
     throw std::invalid_argument(
         "--family must be gnp|geometric|grid|hypercube|rmat|kronecker");
   }
+  if (family == "grid") {
+    const auto side = static_cast<std::size_t>(std::sqrt(double(n)));
+    pts = grid_coords(side, side);
+  }
   if (cli.has("weighted")) {
     g = pts.empty() ? with_uniform_weights(g, 1.0, 10.0, rng)
                     : with_euclidean_weights(g, pts);
   }
   save_graph(cli.get("out", ""), g);
   std::cout << "wrote " << g.summary() << "\n";
+  const std::string coords_path = cli.get("coords", "");
+  if (!coords_path.empty()) {
+    if (pts.empty())
+      throw std::invalid_argument(
+          "--coords requires a coordinate family (geometric or grid)");
+    save_points(coords_path, pts);
+    std::cout << "wrote " << pts.size() << " points to " << coords_path
+              << "\n";
+  }
   return 0;
 }
 
