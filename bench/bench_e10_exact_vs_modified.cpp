@@ -13,7 +13,7 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 10));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 10));
   const auto trials = static_cast<int>(cli.get_int("trials", 5));
 
   bench::banner("E10 exact vs modified greedy",

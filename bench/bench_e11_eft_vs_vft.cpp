@@ -10,8 +10,8 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 400));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 11));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 400));
 
   bench::banner("E11 EFT vs VFT",
                 "Section 2 / open problem: both models obey the same upper "

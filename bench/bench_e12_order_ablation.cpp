@@ -38,7 +38,7 @@ const char* order_name(EdgeOrder order) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 12));
   const auto trials = static_cast<int>(cli.get_int("trials", 30));
 
   bench::banner("E12 ordering ablation",

@@ -20,9 +20,9 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 256));
-  const auto trials = static_cast<std::uint32_t>(cli.get_int("trials", 120));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 13));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 256));
+  const auto trials = static_cast<std::uint32_t>(cli.get_uint("trials", 120));
 
   bench::banner("E13 baselines",
                 "Section 1: near-optimal FT size in polynomial time; non-FT "

@@ -17,7 +17,7 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 14));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 14));
 
   bench::banner("E14 lower-bound instances",
                 "size optimality: greedy output vs the (f+1)m(base) blowup "

@@ -18,8 +18,8 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 15));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 300));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 15));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 300));
 
   bench::banner("E15 batched greedy",
                 "Section 6: the greedy is hard to parallelize — batching "

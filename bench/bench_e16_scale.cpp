@@ -208,16 +208,16 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 42));
   const auto scales = parse_scales(cli.get("scales", "17,18,19,20"));
   const std::string family = cli.get("family", "kronecker");
   if (family != "kronecker" && family != "rmat")
     throw std::invalid_argument("--family must be kronecker or rmat");
   const auto edgefactor =
-      static_cast<std::size_t>(cli.get_int("edgefactor", 16));
-  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 0));
-  const auto k = static_cast<std::uint32_t>(cli.get_int("k", 2));
-  const auto threads = static_cast<std::uint32_t>(cli.get_int("threads", 1));
+      static_cast<std::size_t>(cli.get_uint("edgefactor", 16));
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 0));
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("k", 2));
+  const auto threads = static_cast<std::uint32_t>(cli.get_uint("threads", 1));
   EngineKnobs knobs;
   knobs.batch = cli.get_int("batch", 1) != 0;
   knobs.masked = cli.get_int("masked", 0) != 0;

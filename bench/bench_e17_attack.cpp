@@ -143,11 +143,11 @@ std::string stretch_cell(double value) {
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 120));
-  const auto trials = static_cast<std::uint32_t>(cli.get_int("trials", 16));
-  const auto k = static_cast<std::uint32_t>(cli.get_int("k", 2));
-  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 17));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 120));
+  const auto trials = static_cast<std::uint32_t>(cli.get_uint("trials", 16));
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("k", 2));
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 2));
   const double radius = cli.get_double("radius", 0.25);
   const std::string json_path = cli.get("out", "BENCH_e17_attack.json");
   const bench::ObsFlags obs = bench::obs_flags(cli);

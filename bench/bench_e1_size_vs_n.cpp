@@ -57,8 +57,8 @@ void sweep(const std::string& family, std::uint32_t k, std::uint32_t f,
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  const auto n_max = static_cast<std::size_t>(cli.get_int("n", 1024));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 1));
+  const auto n_max = static_cast<std::size_t>(cli.get_uint("n", 1024));
 
   bench::banner("E1 size-vs-n",
                 "Theorem 8: |E(H)| = O(k f^{1-1/k} n^{1+1/k}); growth in n "

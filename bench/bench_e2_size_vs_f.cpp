@@ -14,9 +14,9 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 512));
-  const auto f_max = static_cast<std::uint32_t>(cli.get_int("f", 8));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 2));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 512));
+  const auto f_max = static_cast<std::uint32_t>(cli.get_uint("f", 8));
 
   bench::banner("E2 size-vs-f",
                 "Theorem 8: the f-dependence is f^{1-1/k} — strictly "

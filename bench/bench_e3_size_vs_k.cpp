@@ -11,9 +11,9 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 512));
-  const auto k_max = static_cast<std::uint32_t>(cli.get_int("k", 6));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 3));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 512));
+  const auto k_max = static_cast<std::uint32_t>(cli.get_uint("k", 6));
 
   bench::banner("E3 size-vs-k",
                 "Theorem 8: size k f^{1-1/k} n^{1+1/k}; growing the stretch "

@@ -176,7 +176,7 @@ bool write_json(const std::string& path, const std::vector<RunResult>& results) 
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 42));
   const auto reps = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, cli.get_int("reps", 3)));
   const auto thread_counts = parse_threads_list(cli.get("threads", "1"));

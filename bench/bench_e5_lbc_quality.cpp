@@ -17,7 +17,7 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 5));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 5));
   const auto trials = static_cast<int>(cli.get_int("trials", 300));
 
   bench::banner("E5 LBC quality",

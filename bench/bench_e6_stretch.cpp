@@ -12,8 +12,8 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 6));
-  const auto trials = static_cast<std::uint32_t>(cli.get_int("trials", 200));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 6));
+  const auto trials = static_cast<std::uint32_t>(cli.get_uint("trials", 200));
 
   bench::banner("E6 stretch validation",
                 "Theorems 5/10: d_{H\\F}(u,v) <= (2k-1) d_{G\\F}(u,v) for all "

@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
   using namespace ftspan;
   using distrib::LocalSpannerConfig;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
-  const auto n_max = static_cast<std::size_t>(cli.get_int("n", 512));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 7));
+  const auto n_max = static_cast<std::size_t>(cli.get_uint("n", 512));
 
   bench::banner("E7 LOCAL model",
                 "Theorem 12: O(log n) rounds, size O(f^{1-1/k} n^{1+1/k} "

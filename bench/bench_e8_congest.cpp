@@ -18,8 +18,8 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
-  const auto n_max = static_cast<std::size_t>(cli.get_int("n", 256));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 8));
+  const auto n_max = static_cast<std::size_t>(cli.get_uint("n", 256));
 
   bench::banner("E8 CONGEST model",
                 "Theorem 14: BS in O(k^2) rounds; Theorem 15: FT spanner in "

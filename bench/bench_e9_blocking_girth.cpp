@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   using namespace ftspan;
   using analysis::lemma7_sample;
   const Cli cli(argc, argv);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 400));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 9));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 400));
   const auto trials = static_cast<int>(cli.get_int("trials", 20));
 
   bench::banner("E9 blocking sets & girth",

@@ -17,9 +17,9 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 128));
-  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 1));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 128));
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 1));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 11));
 
   Rng rng(seed);
   const Graph g = gnp(n, 14.0 / static_cast<double>(n), rng);

@@ -22,10 +22,10 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 150));
-  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 2));
-  const auto trials = static_cast<std::uint32_t>(cli.get_int("trials", 150));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 150));
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 2));
+  const auto trials = static_cast<std::uint32_t>(cli.get_uint("trials", 150));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 3));
 
   Rng rng(seed);
   const Graph g = gnp(n, 20.0 / static_cast<double>(n), rng);

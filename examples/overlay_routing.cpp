@@ -57,10 +57,10 @@ OutageStats route_wave(const Graph& mesh, const Graph& backbone,
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 250));
-  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 2));
-  const auto waves = static_cast<int>(cli.get_int("waves", 40));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 250));
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 2));
+  const auto waves = static_cast<int>(cli.get_uint("waves", 40));
+  const auto seed = cli.get_uint("seed", 7);
 
   Rng rng(seed);
   std::vector<Point> sites;
@@ -106,8 +106,25 @@ int main(int argc, char** argv) {
   outcome.add_row({"2-VFT 3-spanner (paper)", Table::num(ft_worst, 2),
                    Table::num((long long)ft_unroutable)});
   outcome.print(std::cout);
-  std::cout << "\nthe FT backbone keeps inflation <= " << params.stretch()
-            << " and never strands a routable pair; the plain spanner "
-               "may do either.\n";
-  return 0;
+
+  // Report what was measured, not what the theorem promises: every outage
+  // here has exactly |F| = f <= f nodes, so Definition 1 makes a stranded
+  // routable pair or inflation beyond 2k-1 a guarantee violation — worth a
+  // marker loud enough for scripts to grep (the ftspand verify command
+  // prints the same spelling).
+  const bool guarantee_holds =
+      ft_unroutable == 0 &&
+      ft_worst <= static_cast<double>(params.stretch()) + 1e-9;
+  if (guarantee_holds) {
+    std::cout << "\nmeasured: the FT backbone kept inflation <= "
+              << params.stretch() << " (worst " << Table::num(ft_worst, 2)
+              << ") and stranded no routable pair across " << waves
+              << " waves; the plain spanner may do either.\n";
+  } else {
+    std::cout << "\nVIOLATION: the FT backbone broke its |outage| <= " << f
+              << " guarantee — worst inflation " << Table::num(ft_worst, 2)
+              << " (bound " << params.stretch() << "), " << ft_unroutable
+              << " unroutable pair(s).\n";
+  }
+  return guarantee_holds ? 0 : 1;
 }

@@ -12,10 +12,10 @@
 int main(int argc, char** argv) {
   using namespace ftspan;
   const Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 300));
-  const auto k = static_cast<std::uint32_t>(cli.get_int("k", 2));
-  const auto f = static_cast<std::uint32_t>(cli.get_int("f", 2));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 300));
+  const auto k = static_cast<std::uint32_t>(cli.get_uint("k", 2));
+  const auto f = static_cast<std::uint32_t>(cli.get_uint("f", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_uint("seed", 42));
 
   // 1. A graph.  Any ftspan::Graph works; here a random one.
   Rng rng(seed);

@@ -21,39 +21,116 @@ void write_edge_list(std::ostream& os, const Graph& g) {
 
 namespace {
 
-std::string next_content_line(std::istream& is) {
-  std::string line;
-  while (std::getline(is, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    return line;
+/// Line-oriented reader that skips blanks/comments and tracks the PHYSICAL
+/// line number of the last line it returned, so parse errors point at the
+/// real file location even when comment or blank lines precede the bad row
+/// (a fixed "row index + 2" guess is wrong the moment either appears).
+struct LineReader {
+  std::istream& is;
+  std::size_t line_no = 0;
+
+  /// Next content line, skipping blanks and '#' comments.  False at EOF.
+  bool next(std::string& out) {
+    std::string line;
+    while (std::getline(is, line)) {
+      ++line_no;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      out = std::move(line);
+      return true;
+    }
+    return false;
   }
-  throw std::invalid_argument("ftspan edge list: unexpected end of input");
-}
 
-}  // namespace
+  /// next(), but EOF is a hard error describing what was being read.
+  std::string require(const std::string& format, const std::string& what) {
+    std::string out;
+    if (!next(out))
+      throw std::invalid_argument(format + ": unexpected end of input while reading " +
+                                  what + " (after line " +
+                                  std::to_string(line_no) + ")");
+    return out;
+  }
+};
 
-Graph read_edge_list(std::istream& is) {
-  std::istringstream header(next_content_line(is));
+Graph read_edge_list_from(LineReader& reader) {
+  static const std::string kFormat = "ftspan edge list";
+  std::istringstream header(reader.require(kFormat, "the header"));
   std::string magic, mode;
   std::size_t n = 0, m = 0;
   if (!(header >> magic >> n >> m >> mode) || magic != "ftspan" ||
       (mode != "weighted" && mode != "unweighted"))
-    throw std::invalid_argument("ftspan edge list: bad header");
+    throw std::invalid_argument(kFormat + ": bad header on line " +
+                                std::to_string(reader.line_no));
 
   const bool weighted = mode == "weighted";
   Graph g(n, weighted);
   g.reserve_edges(m);
   for (std::size_t i = 0; i < m; ++i) {
-    std::istringstream row(next_content_line(is));
+    std::istringstream row(reader.require(
+        kFormat, "edge " + std::to_string(i + 1) + " of " + std::to_string(m)));
     VertexId u = 0, v = 0;
     Weight w = 1.0;
     if (!(row >> u >> v) || (weighted && !(row >> w)))
-      throw std::invalid_argument("ftspan edge list: bad edge on line " +
-                                  std::to_string(i + 2));
-    g.add_edge(u, v, w);
+      throw std::invalid_argument(kFormat + ": bad edge on line " +
+                                  std::to_string(reader.line_no));
+    try {
+      g.add_edge(u, v, w);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(kFormat + ": line " +
+                                  std::to_string(reader.line_no) + ": " +
+                                  e.what());
+    }
   }
   return g;
+}
+
+std::vector<Point> read_points_from(LineReader& reader) {
+  static const std::string kFormat = "ftspan points";
+  std::istringstream header(reader.require(kFormat, "the header"));
+  std::string magic;
+  std::size_t n = 0;
+  if (!(header >> magic >> n) || magic != "ftspan-points")
+    throw std::invalid_argument(kFormat + ": bad header on line " +
+                                std::to_string(reader.line_no));
+  std::vector<Point> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::istringstream row(reader.require(
+        kFormat,
+        "point " + std::to_string(i + 1) + " of " + std::to_string(n)));
+    Point p;
+    if (!(row >> p.x >> p.y))
+      throw std::invalid_argument(kFormat + ": bad point on line " +
+                                  std::to_string(reader.line_no));
+    points.push_back(p);
+  }
+  return points;
+}
+
+/// File-level strictness for load_*: a declared-count format has no valid
+/// continuation, so any content line past the last record is a mistake —
+/// most often a count smaller than the data, which would otherwise load a
+/// silently partial graph.  (The stream-level read_* entry points stay
+/// lenient so concatenated streams keep working.)
+void reject_trailing(LineReader& reader, const char* format) {
+  std::string extra;
+  if (reader.next(extra))
+    throw std::invalid_argument(std::string(format) +
+                                ": trailing content on line " +
+                                std::to_string(reader.line_no));
+}
+
+/// I/O (not syntax) failure: badbit means the stream itself broke.
+void require_stream_healthy(const std::istream& is, const std::string& path) {
+  if (is.bad()) throw std::runtime_error("read failed: " + path);
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& is) {
+  LineReader reader{is};
+  return read_edge_list_from(reader);
 }
 
 void write_points(std::ostream& os, const std::vector<Point>& points) {
@@ -63,22 +140,8 @@ void write_points(std::ostream& os, const std::vector<Point>& points) {
 }
 
 std::vector<Point> read_points(std::istream& is) {
-  std::istringstream header(next_content_line(is));
-  std::string magic;
-  std::size_t n = 0;
-  if (!(header >> magic >> n) || magic != "ftspan-points")
-    throw std::invalid_argument("ftspan points: bad header");
-  std::vector<Point> points;
-  points.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::istringstream row(next_content_line(is));
-    Point p;
-    if (!(row >> p.x >> p.y))
-      throw std::invalid_argument("ftspan points: bad point on line " +
-                                  std::to_string(i + 2));
-    points.push_back(p);
-  }
-  return points;
+  LineReader reader{is};
+  return read_points_from(reader);
 }
 
 void save_graph(const std::string& path, const Graph& g) {
@@ -91,7 +154,15 @@ void save_graph(const std::string& path, const Graph& g) {
 Graph load_graph(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
-  return read_edge_list(is);
+  LineReader reader{is};
+  try {
+    Graph g = read_edge_list_from(reader);
+    reject_trailing(reader, "ftspan edge list");
+    require_stream_healthy(is, path);
+    return g;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
 }
 
 void save_points(const std::string& path, const std::vector<Point>& points) {
@@ -104,7 +175,15 @@ void save_points(const std::string& path, const std::vector<Point>& points) {
 std::vector<Point> load_points(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
-  return read_points(is);
+  LineReader reader{is};
+  try {
+    std::vector<Point> points = read_points_from(reader);
+    reject_trailing(reader, "ftspan points");
+    require_stream_healthy(is, path);
+    return points;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
 }
 
 }  // namespace ftspan

@@ -36,7 +36,12 @@ void write_points(std::ostream& os, const std::vector<Point>& points);
 [[nodiscard]] std::vector<Point> read_points(std::istream& is);
 
 /// Convenience file wrappers; throw std::runtime_error when the file cannot
-/// be opened.
+/// be opened or the stream fails mid-read, and std::invalid_argument — with
+/// the path and the offending physical line number — on malformed content.
+/// The file loaders are stricter than the stream readers: content lines
+/// after the declared record count are rejected (a count smaller than the
+/// data would otherwise load a silently partial graph), while read_edge_list
+/// / read_points leave trailing stream data untouched for concatenated use.
 void save_graph(const std::string& path, const Graph& g);
 [[nodiscard]] Graph load_graph(const std::string& path);
 void save_points(const std::string& path, const std::vector<Point>& points);

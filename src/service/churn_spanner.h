@@ -1,0 +1,243 @@
+// Always-on f-FT spanner maintenance under edge churn.
+//
+// ChurnSpanner owns a live graph G and keeps a subgraph H that is an
+// f-fault-tolerant (2k-1)-spanner of G while G absorbs a stream of edge
+// insertions and removals.  The maintained invariant is the modified
+// greedy's own per-edge condition (Lemma 3 reduces Definition 1 to it):
+//
+//   every live edge e = {u,v} of G is in H, or H contains f+1 u-v paths
+//   within the stretch budget whose interiors (vertex model) / edges (edge
+//   model) are pairwise disjoint — so any fault set of size <= f misses at
+//   least one of them.
+//
+// That is exactly the certificate a NO answer of the LBC sweep loop
+// (Algorithm 2, src/core/lbc.h) leaves behind, generalized to weighted
+// graphs by running the sweeps as budget-pruned Dijkstras with budget
+// t * w(e) instead of t-hop BFS.  Composing the per-edge detours along any
+// surviving shortest path yields d_{H\F}(u,v) <= t * d_{G\F}(u,v) for every
+// pair and every |F| <= f — the verifier's property.
+//
+// Maintenance per update:
+//   * insert e: one LBC decision against the current H (the dynamic analogue
+//     of the greedy scan step; with f == 0 this is the single-sweep alpha=0
+//     fast path).  YES (a small cut separates the endpoints) => e joins H.
+//   * remove e not in H: nothing — H is untouched, and shrinking G only
+//     removes demand (other edges' certificates never referenced e).
+//   * remove e = {u,v} in H: localized repair.  Any live edge {x,y} whose
+//     certificate could have died routed a budget-bounded path through e,
+//     so dist_{H'}(x,u) + w(e) + dist_{H'}(v,y) <= t * w(x,y) (up to
+//     symmetry) — an Even-Shiloach-style distance wave from u and from v in
+//     the post-removal H' lower-bounds every such segment.  Edges passing
+//     that filter get their decision re-picked; the ones whose LBC now
+//     answers YES are promoted into H.  Everything outside the two distance
+//     balls provably kept its certificate and is never re-examined.
+//
+// Incremental maintenance preserves correctness but not the greedy's size
+// bound (churn order is not weight order), so a full modified-greedy
+// rebuild remains the correctness-and-quality oracle: the staleness budget
+// (updates_since_rebuild and/or a size-slack factor versus a fresh oracle
+// build) bounds how far the maintained H may drift before the service
+// re-anchors it.
+//
+// Readers never block the updater: queries run against an immutable Snapshot
+// published epoch by epoch (every publish_every updates, or on demand); the
+// updater mutates only its private state and swaps one atomic shared_ptr.
+// Updater methods themselves must be externally serialized (ftspand holds
+// one update mutex); snapshot()/readers are wait-free on any thread.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/modified_greedy.h"
+#include "core/options.h"
+#include "fault/verifier.h"
+#include "graph/graph.h"
+#include "graph/search.h"
+
+namespace ftspan::service {
+
+/// Service contract knobs for the maintained spanner.
+struct ChurnConfig {
+  SpannerParams params;
+  /// Updates absorbed since the last full rebuild before the engine
+  /// re-anchors itself with a modified-greedy rebuild (0 = never rebuild
+  /// automatically; the oracle is still available via rebuild()).
+  std::uint32_t rebuild_budget = 4096;
+  /// Maintained-size slack versus a fresh oracle build: when an
+  /// oracle_check() measures maintained_m > size_slack * oracle_m, the
+  /// engine rebuilds.  0 disables the size leg of the staleness contract.
+  double size_slack = 0.0;
+  /// Updates per epoch publish (>= 1).  Readers observe state at most this
+  /// many updates old between publishes; flush()/rebuild() publish eagerly.
+  std::uint32_t publish_every = 8;
+  /// Knobs forwarded to the oracle rebuild.
+  ModifiedGreedyConfig rebuild;
+};
+
+/// Maintenance counters (updater-thread values; snapshots carry a copy).
+struct ChurnStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t removals = 0;
+  std::uint64_t spanner_inserts = 0;    ///< inserts the LBC decision accepted
+  std::uint64_t spanner_removals = 0;   ///< removals that hit a spanner edge
+  std::uint64_t repair_decisions = 0;   ///< re-picked decisions after removals
+  std::uint64_t repair_promotions = 0;  ///< re-picks promoted into H
+  std::uint64_t repair_ball_vertices = 0;  ///< distance-wave touch set, summed
+  std::uint64_t rebuilds = 0;           ///< full oracle rebuilds (incl. ctor)
+  std::uint64_t publishes = 0;
+};
+
+/// Immutable epoch state answering reader queries.  `graph` holds every edge
+/// the engine has ever seen (dead ones included — Graph is append-only);
+/// the byte masks carve the live mesh and the spanner out of it as fault
+/// views, the representation every search runner consumes natively.
+struct ChurnSnapshot {
+  std::uint64_t epoch = 0;
+  Graph graph;
+  std::vector<std::uint8_t> dead;     ///< 1 = edge removed from the mesh
+  std::vector<std::uint8_t> blocked;  ///< 1 = dead or not in the spanner
+  SpannerParams params;
+  std::size_t live_m = 0;
+  std::size_t spanner_m = 0;
+  ChurnStats stats;
+
+  /// View of the live mesh G (dead edges masked).
+  [[nodiscard]] FaultView mesh_view() const noexcept {
+    return FaultView{{}, dead};
+  }
+  /// View of the maintained spanner H (dead and unpicked edges masked).
+  [[nodiscard]] FaultView spanner_view() const noexcept {
+    return FaultView{{}, blocked};
+  }
+};
+
+/// Outcome of one update as seen by the updater.
+struct UpdateResult {
+  EdgeId edge = kInvalidEdge;   ///< id in the engine's arc universe
+  bool in_spanner = false;      ///< edge is in H after the update
+  std::size_t repicked = 0;     ///< decisions promoted by removal repair
+  std::uint64_t epoch = 0;      ///< epoch visible to readers afterwards
+};
+
+/// Result of an oracle check: the maintained H verified against the live
+/// mesh, with a fresh greedy rebuild as the size yardstick.
+struct OracleReport {
+  StretchReport report;        ///< verify_sampled of the MAINTAINED spanner
+  std::size_t maintained_m = 0;
+  std::size_t oracle_m = 0;    ///< size of the fresh modified-greedy build
+  bool rebuilt = false;        ///< the size-slack leg triggered a rebuild
+};
+
+class ChurnSpanner {
+ public:
+  /// Takes ownership of the initial mesh and runs the first oracle build
+  /// (counted in stats().rebuilds) so H starts as the exact greedy spanner.
+  ChurnSpanner(Graph initial, ChurnConfig config);
+
+  // --- updater API (externally serialized; never call concurrently) -------
+
+  /// Inserts edge {u,v} (weight w on weighted meshes) and decides whether it
+  /// joins H.  Re-inserting a previously removed edge resurrects it (the
+  /// weight must match).  Throws std::invalid_argument on a live duplicate,
+  /// out-of-range endpoint, self-loop, or changed weight.
+  UpdateResult insert(VertexId u, VertexId v, Weight w = 1.0);
+
+  /// Removes edge {u,v} from the mesh; if it was a spanner edge, repairs the
+  /// affected decisions (see header comment).  Throws std::invalid_argument
+  /// when the edge does not exist or is already removed.
+  UpdateResult remove(VertexId u, VertexId v);
+
+  /// Full modified-greedy rebuild on the live mesh — the correctness-and-
+  /// quality oracle.  Compacts the arc universe (dead edges are dropped and
+  /// edge ids renumber) and publishes a fresh epoch.
+  void rebuild();
+
+  /// Publishes the current state as a new epoch immediately.
+  std::uint64_t flush();
+
+  // --- oracle / inspection (updater thread, or externally serialized) -----
+
+  /// Materializes the live mesh (edge ids renumber densely).
+  [[nodiscard]] Graph live_graph() const;
+  /// Materializes the maintained spanner H over the same vertex set.
+  [[nodiscard]] Graph spanner_graph() const;
+
+  /// Verifies the MAINTAINED spanner against the live mesh with
+  /// verify_sampled.  With `compare_oracle`, additionally measures a fresh
+  /// modified-greedy build as the size yardstick and rebuilds when the
+  /// size-slack leg of the staleness budget trips (config().size_slack).
+  OracleReport oracle_check(std::uint32_t trials, Rng& rng,
+                            const ExecPolicy& exec = {},
+                            bool compare_oracle = false);
+
+  [[nodiscard]] const ChurnStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ChurnConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t n() const noexcept { return g_.n(); }
+  [[nodiscard]] std::size_t live_m() const noexcept { return live_m_; }
+  [[nodiscard]] std::size_t spanner_m() const noexcept { return spanner_m_; }
+  [[nodiscard]] std::uint64_t updates_since_rebuild() const noexcept {
+    return updates_since_rebuild_;
+  }
+
+  // --- reader API (any thread, wait-free) ---------------------------------
+
+  /// The most recently published epoch state.  Never null.
+  [[nodiscard]] std::shared_ptr<const ChurnSnapshot> snapshot() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// The dynamic greedy decision for live edge {u,v}: true when H already
+  /// holds f+1 disjoint budget-bounded detours (the edge is spanned), false
+  /// when a <= f cut separates them (the edge must join H).  The candidate
+  /// edge itself must be masked (blocked) when this runs.
+  bool decide_spanned(VertexId u, VertexId v, Weight w);
+
+  /// Removal repair for spanner edge {u,v} of weight w (already removed from
+  /// the masks): re-picks every decision the removal could have broken.
+  std::size_t repair_after_spanner_removal(VertexId u, VertexId v, Weight w);
+
+  void note_update();
+  void publish_locked();
+  void adopt_build(Graph live, SpannerBuild build);
+
+  ChurnConfig config_;
+  Graph g_;                            ///< append-only arc universe
+  std::vector<std::uint8_t> dead_;
+  std::vector<std::uint8_t> blocked_;  ///< dead_ OR not in H (plus, during a
+                                       ///< decision, the sweep's edge cut)
+  std::vector<std::uint8_t> in_h_;
+  std::size_t live_m_ = 0;
+  std::size_t spanner_m_ = 0;
+  /// High-water mark of live edge weights — over-approximating is sound for
+  /// the weighted repair ball, so it never shrinks on removals.
+  Weight max_live_w_ = 1.0;
+
+  BfsRunner bfs_;
+  DijkstraRunner dij_;
+  ScratchMask vcut_;                       ///< vertex cut during decisions
+  ScratchMask eseen_;                      ///< repair candidate dedup
+  std::vector<std::uint32_t> ecut_touched_;  ///< blocked_ ids set by a sweep
+  std::vector<PathStep> path_;
+  std::vector<EdgeId> candidates_;           ///< repair re-pick worklist
+  std::vector<std::uint32_t> du_hops_, dv_hops_;  ///< repair waves (hops)
+  std::vector<Weight> du_w_, dv_w_;               ///< repair waves (weights)
+
+  ChurnStats stats_;
+  std::uint64_t updates_since_rebuild_ = 0;
+  std::uint32_t unpublished_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::shared_ptr<const ChurnSnapshot>> snap_;
+};
+
+/// Least-weight u-v distance over a snapshot view (mesh or spanner).
+/// Callers supply their own runner so concurrent readers never share state.
+[[nodiscard]] Weight snapshot_distance(const ChurnSnapshot& snap,
+                                       DijkstraRunner& runner, VertexId u,
+                                       VertexId v, const FaultView& view);
+
+}  // namespace ftspan::service

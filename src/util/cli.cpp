@@ -37,6 +37,27 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const 
   return it == values_.end() ? fallback : std::stoll(it->second);
 }
 
+std::uint64_t Cli::get_uint(const std::string& name,
+                            std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::int64_t value = 0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stoll(it->second, &consumed);
+    if (consumed != it->second.size())
+      throw std::invalid_argument("trailing characters");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name +
+                                " expects a non-negative integer, got '" +
+                                it->second + "'");
+  }
+  if (value < 0)
+    throw std::invalid_argument("--" + name + " must be non-negative, got " +
+                                it->second);
+  return static_cast<std::uint64_t>(value);
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : std::stod(it->second);

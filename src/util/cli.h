@@ -30,6 +30,14 @@ class Cli {
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
 
+  /// Value of --name as a non-negative integer, or `fallback` when absent.
+  /// Throws std::invalid_argument (naming the flag) on a negative or
+  /// non-numeric value — use this for every flag a caller would otherwise
+  /// static_cast to an unsigned type, where "--n -5" silently wraps to a
+  /// huge count.
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t fallback) const;
+
   /// Value of --name as a double, or `fallback` when absent.
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
 

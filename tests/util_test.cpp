@@ -183,6 +183,36 @@ TEST(Cli, MixedFlagsParse) {
   EXPECT_EQ(cli.get_int("b", 0), 2);
 }
 
+TEST(Cli, GetUintAcceptsNonNegative) {
+  const char* argv[] = {"prog", "--n", "128", "--zero=0"};
+  Cli cli(4, argv);
+  EXPECT_EQ(cli.get_uint("n", 0), 128u);
+  EXPECT_EQ(cli.get_uint("zero", 7), 0u);
+  EXPECT_EQ(cli.get_uint("absent", 42), 42u);
+}
+
+TEST(Cli, GetUintRejectsNegative) {
+  // Before get_uint, "--n -5" was static_cast to size_t at call sites and
+  // wrapped to a huge allocation; it must be a loud error instead.
+  const char* argv[] = {"prog", "--n", "-5"};
+  Cli cli(3, argv);
+  try {
+    (void)cli.get_uint("n", 0);
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--n"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-negative"), std::string::npos) << what;
+  }
+}
+
+TEST(Cli, GetUintRejectsGarbage) {
+  const char* argv[] = {"prog", "--n", "12abc", "--m", "xyz"};
+  Cli cli(5, argv);
+  EXPECT_THROW((void)cli.get_uint("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_uint("m", 0), std::invalid_argument);
+}
+
 // ----------------------------------------------------------------- check
 
 TEST(Check, RequireThrowsInvalidArgument) {

@@ -27,6 +27,16 @@ layer allocates nothing on the hot path.  Floor entries with no
 matching row are reported but do not fail — the per-push lane runs only the
 smallest large config while the nightly sweep covers every scale.
 
+--e18 mode validates a BENCH_e18_churn.json from the churn-maintenance
+lane.  E18 entries are keyed on (family, n, f, k, model) and gate the
+machine-independent service contract, never wall-clock: `checkpoints_ok`
+must be true (the maintained spanner passed verify_sampled at every
+staleness checkpoint), `speedup_vs_rebuild` must be at least
+`min_speedup_vs_rebuild` (incremental maintenance has to beat
+full-rebuild-per-update by a wide margin or the service is pointless),
+and the run must have covered at least `min_updates` / `min_queries`
+(a row measured on a toy workload proves nothing).
+
 --e17 mode validates a BENCH_e17_attack.json from the stretch-under-attack
 shootout.  E17 entries are keyed on (algo, model, scenario, n, f, k) and pin
 *results*, not wall-clock: `max_stretch` must reproduce within 1e-6 (null
@@ -39,7 +49,8 @@ Usage:
   check_perf_floor.py MAIN.json --floor bench/ci_perf_floor.json \
       [--e16 | --e17] [--ab AB1.json AB2.json ...] [--slack 0.25]
 
-The floor file is an object {"e4": [...], "e16": [...], "e17": [...]}; a
+The floor file is an object {"e4": [...], "e16": [...], "e17": [...],
+"e18": [...]}; a
 bare list is accepted as e4-only for compatibility.  Exits non-zero with a per-failure
 report; prints the measured rows so the CI log shows the perf trajectory
 at a glance.  Both modes also print a per-config delta table (config,
@@ -232,6 +243,73 @@ def check_e17(rows, floors, tolerance=1e-6):
     return failures
 
 
+def e18_key(row):
+    return (row["family"], row["n"], row["f"], row["k"], row["model"])
+
+
+def check_e18(rows, floors):
+    """Gate an E18 churn run on the service contract: every staleness
+    checkpoint verified, the incremental-vs-rebuild speedup ratio holds, and
+    the workload met the floor's minimum size.  No wall-clock gates — the
+    speedup is a ratio of two times measured on the same machine."""
+    failures = []
+    deltas = []
+    indexed = {e18_key(r): r for r in rows}
+    checked = 0
+    for floor in floors:
+        key = (floor["family"], floor["n"], floor["f"], floor["k"],
+               floor["model"])
+        row = indexed.pop(key, None)
+        if row is None:
+            print("  (floor config %s not in this run — nightly-only)"
+                  % (key,))
+            continue
+        checked += 1
+        cfg = "%s n=%d f=%d k=%d %s" % key
+        if not row["checkpoints_ok"]:
+            failures.append(
+                "%s: a staleness checkpoint FAILED verify_sampled — the "
+                "maintained spanner stopped being an f-FT spanner under "
+                "churn; throughput numbers from a broken structure are void"
+                % (key,))
+        min_speedup = floor.get("min_speedup_vs_rebuild")
+        if min_speedup is not None:
+            # Headroom reads inverted for a >= gate: report the floor as the
+            # budget so the table shows how far above the minimum we sit.
+            deltas.append((cfg, "speedup", float(min_speedup),
+                           float(row["speedup_vs_rebuild"]),
+                           float(row["speedup_vs_rebuild"])))
+            if row["speedup_vs_rebuild"] < min_speedup:
+                failures.append(
+                    "%s: speedup_vs_rebuild %.1fx is below the %.0fx floor — "
+                    "incremental maintenance no longer pays for itself"
+                    % (key, row["speedup_vs_rebuild"], min_speedup))
+        if row["updates"] < floor.get("min_updates", 0):
+            failures.append(
+                "%s: only %d updates applied (floor requires >= %d)"
+                % (key, row["updates"], floor["min_updates"]))
+        if row["queries"] < floor.get("min_queries", 0):
+            failures.append(
+                "%s: only %d queries measured (floor requires >= %d)"
+                % (key, row["queries"], floor["min_queries"]))
+    if checked == 0:
+        failures.append("no E18 row matched any floor config — the churn "
+                        "lane measured nothing the gate covers")
+    for key in indexed:
+        failures.append("E18 row %s has no floor entry — add one to "
+                        "ci_perf_floor.json before landing a new config"
+                        % (key,))
+    for r in sorted(rows, key=e18_key):
+        print("  %-6s n=%-6d f=%d k=%d %-6s  upd/s=%-8.0f qry/s=%-8.0f "
+              "p50=%.1fus p99=%.1fus  speedup=%.0fx  checkpoints=%s"
+              % (r["family"], r["n"], r["f"], r["k"], r["model"],
+                 r["updates_per_s"], r["queries_per_s"], r["p50_query_us"],
+                 r["p99_query_us"], r["speedup_vs_rebuild"],
+                 "ok" if r["checkpoints_ok"] else "FAILED"))
+    emit_delta_table("E18 churn floor deltas", deltas)
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("main", help="bench JSON from the perf lane")
@@ -241,6 +319,8 @@ def main():
                         help="validate a BENCH_e16_scale.json instead of E4")
     parser.add_argument("--e17", action="store_true",
                         help="validate a BENCH_e17_attack.json instead of E4")
+    parser.add_argument("--e18", action="store_true",
+                        help="validate a BENCH_e18_churn.json instead of E4")
     parser.add_argument("--ab", nargs="*", default=[],
                         help="A/B run JSONs that must keep sweeps/spanner_m")
     parser.add_argument("--slack", type=float, default=0.25,
@@ -249,6 +329,20 @@ def main():
 
     rows = load(args.main)
     failures = []
+
+    if args.e18:
+        floors = load_floors(args.floor, "e18")
+        print("e18 churn lane: %d rows, %d floor configs"
+              % (len(rows), len(floors)))
+        failures = check_e18(rows, floors)
+        if failures:
+            print("\nFAILURES:", file=sys.stderr)
+            for failure in failures:
+                print("  - " + failure, file=sys.stderr)
+            return 1
+        print("all checks passed: every checkpoint verified, incremental "
+              "maintenance beats rebuild-per-update by the required margin")
+        return 0
 
     if args.e17:
         floors = load_floors(args.floor, "e17")

@@ -37,6 +37,8 @@
 //
 // Graphs use the ftspan edge-list format (see src/graph/io.h).
 
+#include <unistd.h>
+
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -51,6 +53,7 @@
 #include "graph/io.h"
 #include "graph/subgraph.h"
 #include "obs/obs.h"
+#include "service/ftspand.h"
 #include "spanner/dk11.h"
 #include "util/cli.h"
 
@@ -102,7 +105,7 @@ struct ObsCliFlags {
 };
 
 int usage() {
-  std::cerr << "usage: ftspan_cli {build|verify|info|gen} --help for flags\n"
+  std::cerr << "usage: ftspan_cli {build|verify|info|gen|serve|client} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
                " [--algo modified|exact|dk11] [--seed 1] [--threads 1]"
                " [--batch 1] [--masked 1] [--overlap 1] [--steal 1]"
@@ -115,14 +118,21 @@ int usage() {
                "  info   --in G\n"
                "  gen    --out G --family gnp|geometric|grid|hypercube|rmat|kronecker"
                " [--n 256] [--p 0.1] [--seed 1] [--weighted]"
-               " [--scale 10] [--edgefactor 16] [--coords P]\n";
+               " [--scale 10] [--edgefactor 16] [--coords P]\n"
+               "  serve  --in G [--k 2] [--f 1] [--model vertex|edge]"
+               " [--port 0] [--port-file P] [--uds PATH]"
+               " [--rebuild-budget 4096] [--publish-every 8]"
+               " [--verify-trials 64] [--seed 1]\n"
+               "  client {--port P | --port-file P | --uds PATH}"
+               " [--cmd \"insert 0 1\"]   (no --cmd: one command per stdin"
+               " line; replies on stdout)\n";
   return 2;
 }
 
 SpannerParams params_from(const Cli& cli) {
   SpannerParams params;
-  params.k = static_cast<std::uint32_t>(cli.get_int("k", 2));
-  params.f = static_cast<std::uint32_t>(cli.get_int("f", 1));
+  params.k = static_cast<std::uint32_t>(cli.get_uint("k", 2));
+  params.f = static_cast<std::uint32_t>(cli.get_uint("f", 1));
   const std::string model = cli.get("model", "vertex");
   if (model == "vertex") {
     params.model = FaultModel::vertex;
@@ -139,15 +149,15 @@ int cmd_build(const Cli& cli) {
   const Graph g = load_graph(cli.get("in", ""));
   const SpannerParams params = params_from(cli);
   const std::string algo = cli.get("algo", "modified");
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto seed = cli.get_uint("seed", 1);
   const ObsCliFlags obs_flags = ObsCliFlags::from(cli);
   obs_flags.start();
 
   Graph h;
   if (algo == "modified") {
     ModifiedGreedyConfig config;
-    const std::int64_t threads = cli.get_int("threads", 1);
-    if (threads < 0 || threads > 4096)
+    const std::uint64_t threads = cli.get_uint("threads", 1);
+    if (threads > 4096)
       throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
     config.exec.threads = static_cast<std::uint32_t>(threads);
     config.exec.overlap = cli.get_int("overlap", 1) != 0;
@@ -211,13 +221,13 @@ int cmd_verify(const Cli& cli) {
   if (cli.has("exhaustive")) {
     report = verify_exhaustive(g, h, params);
   } else {
-    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-    const std::int64_t threads = cli.get_int("threads", 1);
-    if (threads < 0 || threads > 4096)
+    Rng rng(cli.get_uint("seed", 1));
+    const std::uint64_t threads = cli.get_uint("threads", 1);
+    if (threads > 4096)
       throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
     ExecPolicy exec;
     exec.threads = static_cast<std::uint32_t>(threads);
-    const auto trials = static_cast<std::uint32_t>(cli.get_int("trials", 200));
+    const auto trials = static_cast<std::uint32_t>(cli.get_uint("trials", 200));
     const std::string scenario_name = cli.get("scenario", "");
     if (!scenario_name.empty()) {
       const auto kind = parse_scenario_kind(scenario_name);
@@ -226,9 +236,9 @@ int cmd_verify(const Cli& cli) {
             "--scenario must be srlg, ball, adaptive, or cascade");
       ScenarioSpec spec;
       spec.kind = *kind;
-      spec.srlg_groups = static_cast<std::uint32_t>(cli.get_int("groups", 0));
+      spec.srlg_groups = static_cast<std::uint32_t>(cli.get_uint("groups", 0));
       spec.ball_radius = cli.get_double("radius", 0.2);
-      spec.restarts = static_cast<std::uint32_t>(cli.get_int("restarts", 3));
+      spec.restarts = static_cast<std::uint32_t>(cli.get_uint("restarts", 3));
       const std::string coords_path = cli.get("coords", "");
       if (!coords_path.empty()) {
         spec.coords = load_points(coords_path);
@@ -287,8 +297,8 @@ int cmd_info(const Cli& cli) {
 }
 
 int cmd_gen(const Cli& cli) {
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 256));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto n = static_cast<std::size_t>(cli.get_uint("n", 256));
+  const auto seed = cli.get_uint("seed", 1);
   const std::string family = cli.get("family", "gnp");
   Rng rng(seed);
   Graph g;
@@ -307,8 +317,8 @@ int cmd_gen(const Cli& cli) {
   } else if (family == "rmat" || family == "kronecker") {
     // Scale workloads are parameterized Graph500-style: n = 2^scale,
     // ~edgefactor edges per vertex (--n is ignored).
-    const auto scale = static_cast<std::size_t>(cli.get_int("scale", 10));
-    const auto ef = static_cast<std::size_t>(cli.get_int("edgefactor", 16));
+    const auto scale = static_cast<std::size_t>(cli.get_uint("scale", 10));
+    const auto ef = static_cast<std::size_t>(cli.get_uint("edgefactor", 16));
     g = family == "rmat" ? rmat(scale, ef, rng) : kronecker(scale, ef, rng);
   } else {
     throw std::invalid_argument(
@@ -336,6 +346,85 @@ int cmd_gen(const Cli& cli) {
   return 0;
 }
 
+int cmd_serve(const Cli& cli) {
+  Graph g = load_graph(cli.get("in", ""));
+  service::ChurnConfig config;
+  config.params = params_from(cli);
+  config.rebuild_budget =
+      static_cast<std::uint32_t>(cli.get_uint("rebuild-budget", 4096));
+  config.publish_every =
+      static_cast<std::uint32_t>(cli.get_uint("publish-every", 8));
+  service::ServeOptions options;
+  options.uds_path = cli.get("uds", "");
+  options.port = static_cast<std::uint16_t>(cli.get_uint("port", 0));
+  options.port_file = cli.get("port-file", "");
+  options.verify_trials =
+      static_cast<std::uint32_t>(cli.get_uint("verify-trials", 64));
+  options.verify_seed = cli.get_uint("seed", 1);
+  const ObsCliFlags obs_flags = ObsCliFlags::from(cli);
+  obs_flags.start();
+  service::Ftspand daemon(std::move(g), config, options);
+  const auto snap = daemon.engine().snapshot();
+  std::cout << "ftspand: n=" << snap->graph.n() << " live_m=" << snap->live_m
+            << " spanner_m=" << snap->spanner_m << " k=" << config.params.k
+            << " f=" << config.params.f << " model="
+            << to_string(config.params.model) << " listening on ";
+  if (!options.uds_path.empty()) {
+    std::cout << options.uds_path << "\n";
+  } else {
+    std::cout << "127.0.0.1:" << daemon.port() << "\n";
+  }
+  std::cout.flush();
+  daemon.run();
+  std::cout << "ftspand: shut down after "
+            << daemon.engine().stats().inserts +
+                   daemon.engine().stats().removals
+            << " updates\n";
+  return obs_flags.finish() ? 0 : 1;
+}
+
+int cmd_client(const Cli& cli) {
+  int fd;
+  const std::string uds = cli.get("uds", "");
+  if (!uds.empty()) {
+    fd = service::connect_uds(uds);
+  } else {
+    auto port = cli.get_uint("port", 0);
+    const std::string port_file = cli.get("port-file", "");
+    if (port == 0 && !port_file.empty()) {
+      std::ifstream in(port_file);
+      if (!in || !(in >> port))
+        throw std::invalid_argument("cannot read port from " + port_file);
+    }
+    if (port == 0 || port > 65535)
+      throw std::invalid_argument("--port (or --port-file) required");
+    fd = service::connect_tcp(static_cast<std::uint16_t>(port));
+  }
+  int failures = 0;
+  std::string reply;
+  const auto roundtrip = [&](const std::string& command) {
+    service::write_frame(fd, command);
+    if (!service::read_frame(fd, reply))
+      throw std::runtime_error("daemon closed the connection");
+    std::cout << reply << "\n";
+    if (reply.rfind("err", 0) == 0 || reply.rfind("VIOLATION", 0) == 0)
+      ++failures;
+  };
+  const std::string one = cli.get("cmd", "");
+  if (!one.empty()) {
+    roundtrip(one);
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      roundtrip(line);
+      if (line == "shutdown") break;
+    }
+  }
+  ::close(fd);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -347,6 +436,8 @@ int main(int argc, char** argv) {
     if (command == "verify") return cmd_verify(cli);
     if (command == "info") return cmd_info(cli);
     if (command == "gen") return cmd_gen(cli);
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "client") return cmd_client(cli);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
