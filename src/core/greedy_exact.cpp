@@ -40,6 +40,8 @@ SpannerBuild exact_greedy_spanner(const Graph& g, const SpannerParams& params,
     }
   }
   build.stats.search_sweeps = search.nodes_visited();
+  build.stats.exact_searches = build.stats.oracle_calls;
+  build.stats.exact_search_nodes = search.nodes_visited();
   build.stats.seconds = timer.seconds();
   return build;
 }

@@ -2,9 +2,22 @@
 //
 // Scan the edges of G in nondecreasing weight order; add {u,v} to H iff some
 // fault set F with |F| <= f satisfies d_{H \ F}(u, v) > (2k-1) * w(u,v).
-// Achieves the optimal O(f^{1-1/k} n^{1+1/k}) size [BP19] but the test is
-// NP-hard, so this is the small-instance baseline the paper's polynomial
-// algorithm is measured against (experiments E4, E10).
+//
+// Guarantee:   stretch 2k-1 under any <= f faults; the optimal
+//              O(f^{1-1/k} n^{1+1/k}) size [BP19].  The per-edge test is
+//              NP-hard, so this is the small-instance baseline the paper's
+//              polynomial algorithm is measured against (E4, E10).
+// Fault model: vertex and edge (FaultSetSearch enumerates whichever
+//              universe params.model selects).
+// Determinism: fully deterministic — stable nondecreasing-weight order
+//              with input-id tie-breaks, and the fault-set search explores
+//              candidates in a fixed order, so the picked set is a pure
+//              function of (graph, params).  spanner/bdpvw_vft.h computes
+//              the IDENTICAL picked set with an LBC prefilter in front of
+//              the search (pinned by tests/zoo_test.cpp); prefer it
+//              whenever the input is unweighted and the model is vertex.
+//
+// Registered as "exact" in spanner/registry.h; see docs/ALGORITHMS.md.
 
 #pragma once
 

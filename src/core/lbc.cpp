@@ -36,6 +36,57 @@ LbcResult LbcSolver::decide(const Graph& g, VertexId u, VertexId v,
   return run_decision(g, u, v, t, alpha, trace, /*sweep0_from_tree=*/false);
 }
 
+LbcResult LbcSolver::decide_weighted(const Graph& g, VertexId u, VertexId v,
+                                     Weight budget, std::uint32_t alpha) {
+  batch_g_ = nullptr;  // a direct decision ends any open batch
+  FTSPAN_REQUIRE(u < g.n() && v < g.n(), "LBC terminal out of range");
+  FTSPAN_REQUIRE(u != v, "LBC terminals must be distinct");
+  FTSPAN_REQUIRE(budget > 0, "weighted LBC requires a positive budget");
+
+  vertex_cut_.ensure_universe(g.n());
+  edge_cut_.ensure_universe(g.m());
+
+  LbcResult result;
+  result.cut.model = model_;
+
+  FaultView cut_view;
+  if (model_ == FaultModel::vertex)
+    cut_view.failed_vertices = vertex_cut_.bytes();
+  else
+    cut_view.failed_edges = edge_cut_.bytes();
+
+  for (std::uint32_t i = 0; i <= alpha; ++i) {
+    ++result.sweeps;
+    ++total_sweeps_;
+    const obs::ScopedSpan span("sweep", "weighted", "target", v, "sweep", i);
+    c_sweep_dedicated.add();
+    // Sweep 0 runs before anything is cut: the empty view keeps the runner
+    // on its no-mask path, mirroring the hop engine's dispatch.
+    const FaultView faults = i == 0 ? FaultView{} : cut_view;
+    const bool found =
+        dijkstra_.shortest_path_arcs(g, u, v, path_, faults, budget);
+    if (!found) {
+      result.yes = true;
+      break;
+    }
+    if (model_ == FaultModel::vertex) {
+      // Interior vertices only; u and v may never be cut.
+      for (std::size_t j = 1; j + 1 < path_.size(); ++j)
+        vertex_cut_.set(path_[j].to);
+    } else {
+      for (std::size_t j = 1; j < path_.size(); ++j)
+        edge_cut_.set(path_[j].edge);
+    }
+  }
+
+  const auto& touched = model_ == FaultModel::vertex ? vertex_cut_.touched()
+                                                     : edge_cut_.touched();
+  result.cut.ids.assign(touched.begin(), touched.end());
+  vertex_cut_.reset_touched();
+  edge_cut_.reset_touched();
+  return result;
+}
+
 void LbcSolver::begin_batch(const Graph& g, VertexId u,
                             std::span<const VertexId> targets,
                             std::uint32_t t) {

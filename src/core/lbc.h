@@ -66,6 +66,20 @@ class LbcSolver {
   LbcResult decide(const Graph& g, VertexId u, VertexId v, std::uint32_t t,
                    std::uint32_t alpha, LbcTrace* trace = nullptr);
 
+  /// Algorithm 2 under a *weight* budget instead of a hop budget: sweeps are
+  /// Dijkstra searches over the real edge weights, and "short" means total
+  /// weight <= budget.  Same loop, same cut accumulation, and the same YES
+  /// guarantee — every surviving short path must contain an element of any
+  /// blocking cut C, so a sweep consumes at least one new element of C and
+  /// |C| <= alpha forces YES within alpha + 1 sweeps (the NO direction stays
+  /// one-sided, exactly as in the hop version).  This is the oracle of the
+  /// (alpha, beta)-greedy on weighted graphs (src/spanner/alpha_beta.h),
+  /// which calls it with budget = alpha * w(e) + beta.  Not batched: every
+  /// weighted sweep runs a dedicated budget-pruned Dijkstra.
+  /// Requires u != v, both in range, budget > 0.
+  LbcResult decide_weighted(const Graph& g, VertexId u, VertexId v,
+                            Weight budget, std::uint32_t alpha);
+
   // --- terminal-batched decisions -----------------------------------------
   //
   // The modified greedy issues runs of decisions that share their first
@@ -189,20 +203,22 @@ class LbcSolver {
     return dedicated_masked_sweeps_;
   }
 
-  /// Adjacency arcs scanned by every search this solver ran (both runners,
+  /// Adjacency arcs scanned by every search this solver ran (all runners,
   /// cumulative) — the measured work term of the O(f^{1-1/k} n^{1/k} m)
   /// bound, aggregated into SpannerBuildStats::arcs_traversed.
   [[nodiscard]] ArcIndex arcs_scanned() const noexcept {
-    return bfs_.arcs_scanned() + tree_bfs_.arcs_scanned();
+    return bfs_.arcs_scanned() + tree_bfs_.arcs_scanned() +
+           dijkstra_.arcs_scanned();
   }
 
-  /// Bytes held by this solver's search workspace: both runners' slab
+  /// Bytes held by this solver's search workspace: the runners' slab
   /// arenas plus the cut/trace masks and the path buffer.  The per-worker
   /// term behind SpannerBuildStats::arena_bytes.
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
     return bfs_.arena_bytes() + tree_bfs_.arena_bytes() +
-           vertex_cut_.bytes().size() + edge_cut_.bytes().size() +
-           trace_mark_.bytes().size() + path_.capacity() * sizeof(PathStep);
+           dijkstra_.arena_bytes() + vertex_cut_.bytes().size() +
+           edge_cut_.bytes().size() + trace_mark_.bytes().size() +
+           path_.capacity() * sizeof(PathStep);
   }
 
  private:
@@ -215,6 +231,7 @@ class LbcSolver {
   bool masked_tree_ = false;
   BfsRunner bfs_;
   BfsRunner tree_bfs_;  ///< holds the shared tree; bfs_ serves sweeps >= 1
+  DijkstraRunner dijkstra_;  ///< serves decide_weighted sweeps only
   ScratchMask vertex_cut_;
   ScratchMask edge_cut_;
   ScratchMask trace_mark_;  ///< dedups expanded vertices across sweeps

@@ -66,7 +66,8 @@ SpannerBuild modified_greedy_spanner(const Graph& g, const SpannerParams& params
   LbcSolver lbc(params.model);
   lbc.set_masked_tree(config.masked_tree);
 
-  const std::uint32_t t = params.stretch();
+  const std::uint32_t t =
+      config.hop_budget != 0 ? config.hop_budget : params.stretch();
   // Algorithm 2 runs on the *unweighted* view of H — even for weighted G,
   // the weights only determined the scan order (Theorem 10's key idea).
   const auto commit = [&](LbcResult decision, EdgeId id) {

@@ -48,6 +48,13 @@ struct ModifiedGreedyConfig {
   /// through the speculative-evaluate / sequential-commit engine in
   /// src/exec/, which picks the bit-identical edge set at any thread count.
   ExecPolicy exec;
+  /// Hop budget handed to every LBC(t, f) decision; 0 = the paper's
+  /// t = 2k - 1 (params.stretch()).  Set by the (alpha, beta)-greedy front
+  /// end (src/spanner/alpha_beta.h), whose unweighted test "exists a path of
+  /// <= floor(alpha + beta) hops" is Algorithm 2 under a different budget —
+  /// both engines (sequential and speculative) read the override, so the
+  /// generalized scan keeps the bit-identical-at-any-thread-count contract.
+  std::uint32_t hop_budget = 0;
 };
 
 /// Runs the modified greedy (Algorithm 4; Algorithm 3 via config.order).

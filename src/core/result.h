@@ -83,6 +83,14 @@ struct SpannerBuildStats {
   std::uint64_t dedicated_masked_arcs = 0;
   /// Number of sweeps metered by dedicated_masked_arcs.
   std::uint64_t dedicated_masked_sweeps = 0;
+  /// Exponential fault-set searches actually run.  Algorithm 1 pays one per
+  /// scanned edge; the BDPVW hybrid (src/spanner/bdpvw_vft.h) pays one only
+  /// for decisions its LBC prefilter could not settle, so this is the
+  /// hybrid's headline meter.  0 for the pure-oracle engines.
+  std::uint64_t exact_searches = 0;
+  /// Branch-and-bound nodes those searches visited
+  /// (FaultSetSearch::nodes_visited); the exponential part of the work.
+  std::uint64_t exact_search_nodes = 0;
 };
 
 /// A constructed spanner H together with provenance and instrumentation.

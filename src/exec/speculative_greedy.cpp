@@ -69,7 +69,8 @@ SpannerBuild speculative_greedy_spanner(const Graph& g,
   build.spanner = Graph(g.n(), g.weighted());
   build.spanner.reserve_edges(g.m());
   build.stats.threads = threads;
-  const std::uint32_t t = params.stretch();
+  const std::uint32_t t =
+      config.hop_budget != 0 ? config.hop_budget : params.stretch();
 
   // No pool-per-build: reuse the policy's pool (default: the process-wide
   // shared pool), grown once to the requested width.  submit() below caps

@@ -27,10 +27,14 @@
 #include "core/options.h"
 #include "core/result.h"
 
-// Baseline spanner constructions.
+// The spanner zoo: baselines, the related-paper constructions, and the
+// unified name-to-builder dispatch (see docs/ALGORITHMS.md).
 #include "spanner/add93_greedy.h"
+#include "spanner/alpha_beta.h"
 #include "spanner/baswana_sen.h"
+#include "spanner/bdpvw_vft.h"
 #include "spanner/dk11.h"
+#include "spanner/registry.h"
 
 // Fault-tolerance verification.
 #include "fault/attack.h"

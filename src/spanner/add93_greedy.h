@@ -1,8 +1,18 @@
 // The classic greedy (2k-1)-spanner of Althofer, Das, Dobkin, Joseph, and
 // Soares [ADD+93]: scan edges by nondecreasing weight; keep {u,v} iff
-// d_H(u,v) > (2k-1) * w(u,v).  Size O(n^{1+1/k}) on any weighted graph —
-// the non-fault-tolerant baseline (and the f = 0 special case of the
-// paper's algorithms).
+// d_H(u,v) > (2k-1) * w(u,v).
+//
+// Guarantee:   stretch 2k-1, size O(n^{1+1/k}) on any weighted graph
+//              (girth argument; add93_size_bound gives the exact constant).
+// Fault model: none — a single fault can disconnect H (the E13/E17
+//              shootouts demonstrate this).  This is the non-fault-tolerant
+//              baseline and the f = 0 special case of the paper's
+//              algorithms.
+// Determinism: fully deterministic — edges scanned by stable
+//              nondecreasing-weight order with input-id tie-breaks, so the
+//              picked set is a pure function of the input graph.
+//
+// Registered as "add93" in spanner/registry.h; see docs/ALGORITHMS.md.
 
 #pragma once
 

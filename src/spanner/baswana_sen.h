@@ -1,10 +1,21 @@
-// The randomized (2k-1)-spanner of Baswana and Sen [BS07].
+// The randomized (2k-1)-spanner of Baswana and Sen [BS07]: k-1 clustering
+// iterations followed by a vertex-cluster joining phase, O(k*m) expected
+// time.
 //
-// k-1 clustering iterations followed by a vertex-cluster joining phase.
-// Expected size O(k * n^{1+1/k}), works on weighted graphs, O(k*m) expected
-// time, and — crucially for Theorem 15 — implementable in O(k^2) CONGEST
-// rounds (see distrib/congest_bs.h for the distributed version; this file is
-// the centralized one, used as the inner algorithm of the DK11 framework).
+// Guarantee:   stretch 2k-1 always (clustering arguments are worst-case);
+//              size O(k * n^{1+1/k}) in expectation on weighted graphs.
+// Fault model: none — like ADD+93 this is a non-fault-tolerant baseline;
+//              it appears in the E13 zoo to show what faults do to it.
+// Determinism: randomized, but a pure function of (input graph, Rng
+//              state): all sampling draws from the caller's Rng in a fixed
+//              sequential order, so a fixed seed reproduces the spanner
+//              bit-exactly (the E13 floor pins rely on this).
+//
+// Crucially for Theorem 15 the algorithm is implementable in O(k^2)
+// CONGEST rounds (see distrib/congest_bs.h for the distributed version;
+// this file is the centralized one, used as the inner algorithm of the
+// DK11 framework).  Registered as "baswana_sen" in spanner/registry.h;
+// see docs/ALGORITHMS.md.
 
 #pragma once
 

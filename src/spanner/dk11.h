@@ -1,12 +1,25 @@
-// The fault-tolerant spanner framework of Dinitz and Krauthgamer [DK11].
-//
+// The fault-tolerant spanner framework of Dinitz and Krauthgamer [DK11]:
 // O(f^3 log n) iterations; in each, every vertex participates independently
 // with probability 1/f, and a non-fault-tolerant (2k-1)-spanner algorithm A
-// runs on the induced subgraph.  The union of all iterations is an f-VFT
-// (2k-1)-spanner whp with O(f^3 * g(2n/f) * log n) edges (Theorem 13), i.e.
-// O(f^{2-1/k} n^{1+1/k} log n) when A meets the n^{1+1/k} bound.  This is
-// the pre-[BDPW18] state of the art the paper's greedy is compared against
-// (experiment E13) and the engine of the CONGEST construction (Theorem 15).
+// runs on the induced subgraph; the union of all iterations is the output.
+//
+// Guarantee:   stretch 2k-1; f-fault-tolerance holds WITH HIGH PROBABILITY
+//              only (a fixed seed can lose to an adaptive adversary — the
+//              E13 shootout's adaptive scenario exhibits exactly this);
+//              size O(f^3 * g(2n/f) * log n) edges (Theorem 13), i.e.
+//              O(f^{2-1/k} n^{1+1/k} log n) when A meets the n^{1+1/k}
+//              bound.
+// Fault model: vertex only, f >= 1 (the framework samples vertices; the
+//              sampling radius is undefined at f = 0 — loud precondition).
+// Determinism: randomized, but a pure function of (input graph, Rng
+//              state): iteration sampling and the inner algorithm draw
+//              from the caller's Rng in a fixed sequential order, so a
+//              fixed seed reproduces the spanner bit-exactly.
+//
+// This is the pre-[BDPW18] state of the art the paper's greedy is compared
+// against (experiment E13) and the engine of the CONGEST construction
+// (Theorem 15).  Registered as "dk11" in spanner/registry.h; see
+// docs/ALGORITHMS.md.
 
 #pragma once
 

@@ -45,12 +45,21 @@ means the storm disconnected some pair — pinned as null), and
 config is deterministic end to end (generator, construction, scenario
 draws), so any drift means decisions changed somewhere in the stack.
 
+--e13 mode validates a BENCH_e13_shootout.json from the algorithm-zoo
+shootout (every construction in spanner/registry.h x fault model x scenario
+x workload).  Same result-pinning discipline as E17 with the workload name
+added to the key — entries are keyed on (algo, model, scenario, graph, n,
+f, k) and pin max_stretch (within 1e-6, null = disconnected),
+disconnected_trials, and spanner_m exactly.  Wall-clock columns
+(build_seconds, seconds) are never gated.
+
 Usage:
   check_perf_floor.py MAIN.json --floor bench/ci_perf_floor.json \
-      [--e16 | --e17] [--ab AB1.json AB2.json ...] [--slack 0.25]
+      [--e13 | --e16 | --e17 | --e18] [--ab AB1.json AB2.json ...] \
+      [--slack 0.25]
 
-The floor file is an object {"e4": [...], "e16": [...], "e17": [...],
-"e18": [...]}; a
+The floor file is an object {"e4": [...], "e13": [...], "e16": [...],
+"e17": [...], "e18": [...]}; a
 bare list is accepted as e4-only for compatibility.  Exits non-zero with a per-failure
 report; prints the measured rows so the CI log shows the perf trajectory
 at a glance.  Both modes also print a per-config delta table (config,
@@ -243,6 +252,72 @@ def check_e17(rows, floors, tolerance=1e-6):
     return failures
 
 
+def e13_key(row):
+    return (row["algo"], row["model"], row["scenario"], row["graph"],
+            row["n"], row["f"], row["k"])
+
+
+def check_e13(rows, floors, tolerance=1e-6):
+    """Gate an E13 zoo shootout: per (algo, model, scenario, graph) cell,
+    max_stretch pinned within tolerance (null = disconnected, pinned as
+    null), disconnected_trials and spanner_m pinned exactly.  spanner_m is
+    the load-bearing pin — it proves every registered construction is still
+    deterministic through the dispatch table."""
+    failures = []
+    indexed = {e13_key(r): r for r in rows}
+    checked = 0
+    for floor in floors:
+        key = (floor["algo"], floor["model"], floor["scenario"],
+               floor["graph"], floor["n"], floor["f"], floor["k"])
+        row = indexed.pop(key, None)
+        if row is None:
+            print("  (floor config %s not in this run — nightly-only)"
+                  % (key,))
+            continue
+        checked += 1
+        pinned = floor["max_stretch"]
+        measured = row["max_stretch"]
+        if (pinned is None) != (measured is None):
+            failures.append(
+                "%s: max_stretch %s != pinned %s — a seeded storm flipped "
+                "between finite stretch and disconnection"
+                % (key, measured, pinned))
+        elif pinned is not None and abs(measured - pinned) > tolerance:
+            failures.append(
+                "%s: max_stretch %.9f != pinned %.9f (tolerance %g) — a "
+                "seeded scenario storm is no longer deterministic (or the "
+                "construction/scenario decisions changed)"
+                % (key, measured, pinned, tolerance))
+        if row["disconnected_trials"] != floor["disconnected_trials"]:
+            failures.append(
+                "%s: disconnected_trials %d != pinned %d"
+                % (key, row["disconnected_trials"],
+                   floor["disconnected_trials"]))
+        if row["spanner_m"] != floor["spanner_m"]:
+            failures.append(
+                "%s: spanner_m %d != pinned %d — a seeded construction is no "
+                "longer deterministic through the registry"
+                % (key, row["spanner_m"], floor["spanner_m"]))
+    if checked == 0:
+        failures.append("no E13 row matched any floor config — the shootout "
+                        "measured nothing the gate covers")
+    for key in indexed:
+        failures.append("E13 row %s has no floor entry — add one to "
+                        "ci_perf_floor.json before landing a new config"
+                        % (key,))
+    for r in sorted(rows, key=e13_key):
+        print("  %-12s %-6s %-8s %-5s n=%-4d f=%d k=%d  m(H)=%-4d "
+              "p50=%-6s max=%-6s disc=%-2d ok=%s"
+              % (r["algo"], r["model"], r["scenario"], r["graph"], r["n"],
+                 r["f"], r["k"], r["spanner_m"],
+                 "inf" if r["p50_stretch"] is None
+                 else "%.2f" % r["p50_stretch"],
+                 "inf" if r["max_stretch"] is None
+                 else "%.2f" % r["max_stretch"],
+                 r["disconnected_trials"], r["ok"]))
+    return failures
+
+
 def e18_key(row):
     return (row["family"], row["n"], row["f"], row["k"], row["model"])
 
@@ -315,6 +390,8 @@ def main():
     parser.add_argument("main", help="bench JSON from the perf lane")
     parser.add_argument("--floor", required=True,
                         help="checked-in per-config floor (ci_perf_floor.json)")
+    parser.add_argument("--e13", action="store_true",
+                        help="validate a BENCH_e13_shootout.json instead of E4")
     parser.add_argument("--e16", action="store_true",
                         help="validate a BENCH_e16_scale.json instead of E4")
     parser.add_argument("--e17", action="store_true",
@@ -329,6 +406,20 @@ def main():
 
     rows = load(args.main)
     failures = []
+
+    if args.e13:
+        floors = load_floors(args.floor, "e13")
+        print("e13 zoo lane: %d rows, %d floor configs"
+              % (len(rows), len(floors)))
+        failures = check_e13(rows, floors)
+        if failures:
+            print("\nFAILURES:", file=sys.stderr)
+            for failure in failures:
+                print("  - " + failure, file=sys.stderr)
+            return 1
+        print("all checks passed: every registered construction reproduced "
+              "its pinned size and stretch profile through the dispatch")
+        return 0
 
     if args.e18:
         floors = load_floors(args.floor, "e18")

@@ -2,9 +2,14 @@
 // command line.
 //
 //   ftspan_cli build  --in g.graph --out h.graph [--k 2] [--f 1]
-//                     [--model vertex|edge] [--algo modified|exact|dk11]
+//                     [--model vertex|edge] [--algo NAME]   (NAME is any
+//                     algorithm registered in spanner/registry.h — the help
+//                     text and error messages enumerate the table, so the
+//                     list here never goes stale; see docs/ALGORITHMS.md)
+//                     [--alpha 0 --beta 0]   (alpha_beta only: the budgeted
+//                     test alpha*w+beta; 0/0 derives alpha=2k-1, beta=0)
 //                     [--threads 1] [--batch 1] [--masked 1] [--overlap 1]
-//                     [--steal 1]   (modified only; --threads 0 = all
+//                     [--steal 1]   (oracle engines; --threads 0 = all
 //                     hardware threads; --batch 0 disables terminal-batched
 //                     LBC, --masked 0 disables masked-tree repair,
 //                     --overlap 0 disables the pipelined commit/evaluate
@@ -45,8 +50,6 @@
 #include <string>
 
 #include "analysis/girth.h"
-#include "core/greedy_exact.h"
-#include "core/modified_greedy.h"
 #include "fault/scenario.h"
 #include "fault/verifier.h"
 #include "graph/generators.h"
@@ -54,7 +57,7 @@
 #include "graph/subgraph.h"
 #include "obs/obs.h"
 #include "service/ftspand.h"
-#include "spanner/dk11.h"
+#include "spanner/registry.h"
 #include "util/cli.h"
 
 namespace {
@@ -105,11 +108,17 @@ struct ObsCliFlags {
 };
 
 int usage() {
+  // The --algo list is generated from the dispatch table
+  // (spanner/registry.h), so a newly registered construction shows up here
+  // without anyone remembering to edit a string.
   std::cerr << "usage: ftspan_cli {build|verify|info|gen|serve|client} --help for flags\n"
                "  build  --in G --out H [--k 2] [--f 1] [--model vertex|edge]"
-               " [--algo modified|exact|dk11] [--seed 1] [--threads 1]"
-               " [--batch 1] [--masked 1] [--overlap 1] [--steal 1]"
-               " [--trace T.json] [--metrics M.json]\n"
+               " [--algo " +
+                   spanner_algo_names() +
+                   "]"
+                   " [--alpha 0] [--beta 0] [--seed 1] [--threads 1]"
+                   " [--batch 1] [--masked 1] [--overlap 1] [--steal 1]"
+                   " [--trace T.json] [--metrics M.json]\n"
                "  verify --in G --spanner H [--k 2] [--f 1]"
                " [--model vertex|edge] [--trials 200] [--exhaustive]"
                " [--threads 1] [--scenario srlg|ball|adaptive|cascade]"
@@ -149,59 +158,63 @@ int cmd_build(const Cli& cli) {
   const Graph g = load_graph(cli.get("in", ""));
   const SpannerParams params = params_from(cli);
   const std::string algo = cli.get("algo", "modified");
-  const auto seed = cli.get_uint("seed", 1);
+  // Resolve before doing any work so an unknown name fails loudly with the
+  // full registered list (build_spanner would throw the same error, but the
+  // lookup also gives the metadata for the stats line below).
+  const SpannerAlgoInfo* info = find_spanner_algo(algo);
+  if (info == nullptr)
+    throw std::invalid_argument("unknown --algo '" + algo +
+                                "'; registered: " + spanner_algo_names());
+
+  SpannerAlgoOptions options;
+  options.seed = cli.get_uint("seed", 1);
+  options.alpha = cli.get_double("alpha", 0.0);
+  options.beta = cli.get_double("beta", 0.0);
+  const std::uint64_t threads = cli.get_uint("threads", 1);
+  if (threads > 4096)
+    throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
+  options.engine.exec.threads = static_cast<std::uint32_t>(threads);
+  options.engine.exec.overlap = cli.get_int("overlap", 1) != 0;
+  options.engine.exec.steal = cli.get_int("steal", 1) != 0;
+  options.engine.batch_terminals = cli.get_int("batch", 1) != 0;
+  options.engine.masked_tree = cli.get_int("masked", 1) != 0;
+
   const ObsCliFlags obs_flags = ObsCliFlags::from(cli);
   obs_flags.start();
+  auto build = build_spanner(algo, g, params, options);
 
-  Graph h;
-  if (algo == "modified") {
-    ModifiedGreedyConfig config;
-    const std::uint64_t threads = cli.get_uint("threads", 1);
-    if (threads > 4096)
-      throw std::invalid_argument("--threads must be in [0, 4096] (0 = auto)");
-    config.exec.threads = static_cast<std::uint32_t>(threads);
-    config.exec.overlap = cli.get_int("overlap", 1) != 0;
-    config.exec.steal = cli.get_int("steal", 1) != 0;
-    config.batch_terminals = cli.get_int("batch", 1) != 0;
-    config.masked_tree = cli.get_int("masked", 1) != 0;
-    auto build = modified_greedy_spanner(g, params, config);
-    std::cout << "modified greedy: " << build.stats.oracle_calls
-              << " LBC decisions, " << build.stats.seconds << " s, "
-              << build.stats.threads << " thread(s)";
-    if (build.stats.spec_evaluated > 0)
-      std::cout << ", speculation hit rate "
-                << (100.0 * static_cast<double>(build.stats.oracle_calls) /
-                    static_cast<double>(build.stats.spec_evaluated))
-                << "%";
-    if (build.stats.overlap_windows > 0)
-      std::cout << ", " << build.stats.overlap_windows
-                << " windows evaluated during commits";
-    if (build.stats.stolen_chunks > 0)
-      std::cout << ", " << build.stats.stolen_chunks
-                << " chunks split off dominant batches";
-    if (build.stats.batched_sweeps > 0)
-      std::cout << ", " << build.stats.tree_reuse_hits
-                << " BFS runs saved by terminal batching";
-    if (build.stats.masked_reuse_hits > 0)
-      std::cout << ", " << build.stats.masked_reuse_hits
-                << " masked BFS runs served by tree repair ("
-                << build.stats.masked_tree_repairs << " repairs)";
-    std::cout << "\n";
-    h = std::move(build.spanner);
-  } else if (algo == "exact") {
-    auto build = exact_greedy_spanner(g, params);
-    std::cout << "exact greedy: " << build.stats.search_sweeps
-              << " search nodes, " << build.stats.seconds << " s\n";
-    h = std::move(build.spanner);
-  } else if (algo == "dk11") {
-    Rng rng(seed);
-    auto build = dk11_spanner(g, params, rng);
-    std::cout << "DK11: " << build.stats.oracle_calls << " iterations, "
-              << build.stats.seconds << " s\n";
-    h = std::move(build.spanner);
-  } else {
-    throw std::invalid_argument("--algo must be modified, exact, or dk11");
-  }
+  // One stats line for every construction, driven by whichever meters it
+  // filled (zeros stay silent) — no per-algorithm printing to maintain.
+  std::cout << algo << " (" << info->paper << "): " << build.stats.seconds
+            << " s";
+  if (build.stats.oracle_calls > 0)
+    std::cout << ", " << build.stats.oracle_calls << " decisions";
+  if (build.stats.threads > 1)
+    std::cout << ", " << build.stats.threads << " threads";
+  if (build.stats.exact_searches > 0)
+    std::cout << ", " << build.stats.exact_searches
+              << " exact fault-set searches ("
+              << build.stats.exact_search_nodes << " nodes)";
+  if (build.stats.spec_evaluated > 0)
+    std::cout << ", speculation hit rate "
+              << (100.0 * static_cast<double>(build.stats.oracle_calls) /
+                  static_cast<double>(build.stats.spec_evaluated))
+              << "%";
+  if (build.stats.overlap_windows > 0)
+    std::cout << ", " << build.stats.overlap_windows
+              << " windows evaluated during commits";
+  if (build.stats.stolen_chunks > 0)
+    std::cout << ", " << build.stats.stolen_chunks
+              << " chunks split off dominant batches";
+  if (build.stats.batched_sweeps > 0)
+    std::cout << ", " << build.stats.tree_reuse_hits
+              << " BFS runs saved by terminal batching";
+  if (build.stats.masked_reuse_hits > 0)
+    std::cout << ", " << build.stats.masked_reuse_hits
+              << " masked BFS runs served by tree repair ("
+              << build.stats.masked_tree_repairs << " repairs)";
+  std::cout << "\n";
+  const Graph h = std::move(build.spanner);
 
   save_graph(cli.get("out", ""), h);
   std::cout << "input   " << g.summary() << "\n"
